@@ -1,0 +1,107 @@
+"""Micro-benchmarks of the hot data-path primitives.
+
+These are real pytest-benchmark targets (many rounds) covering the
+operations whose per-call cost bounds the simulator's replay throughput:
+engine insert/lookup, bloom filter add/query, Zipf sampling, and the
+latency model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.fairywren import FairyWrenCache
+from repro.core.bloom import BloomFilter
+from repro.core.config import NemoConfig
+from repro.core.nemo import NemoCache
+from repro.flash.geometry import FlashGeometry
+from repro.flash.latency import LatencyModel
+from repro.workloads.zipf import ZipfGenerator
+
+
+def bench_geometry():
+    return FlashGeometry(
+        page_size=4096, pages_per_block=64, num_blocks=16, blocks_per_zone=1
+    )
+
+
+@pytest.fixture
+def warm_nemo():
+    cache = NemoCache(
+        bench_geometry(), NemoConfig(flush_threshold=8, sgs_per_index_group=4)
+    )
+    for key in range(30_000):
+        cache.insert(key, 250)
+    return cache
+
+
+def test_nemo_insert_throughput(benchmark):
+    cache = NemoCache(
+        bench_geometry(), NemoConfig(flush_threshold=8, sgs_per_index_group=4)
+    )
+    counter = iter(range(10_000_000))
+
+    def insert_one():
+        cache.insert(next(counter), 250)
+
+    benchmark(insert_one)
+
+
+def test_nemo_lookup_hit(benchmark, warm_nemo):
+    keys = [k for k in range(29_000, 30_000)]
+    idx = iter(range(10_000_000))
+
+    def lookup_one():
+        warm_nemo.lookup(keys[next(idx) % len(keys)], 250)
+
+    benchmark(lookup_one)
+
+
+def test_nemo_lookup_miss(benchmark, warm_nemo):
+    idx = iter(range(10_000_000))
+
+    def lookup_absent():
+        warm_nemo.lookup(1_000_000 + next(idx), 250)
+
+    benchmark(lookup_absent)
+
+
+def test_fairywren_insert_throughput(benchmark):
+    cache = FairyWrenCache(bench_geometry(), log_fraction=0.1, op_ratio=0.1)
+    counter = iter(range(10_000_000))
+
+    def insert_one():
+        cache.insert(next(counter), 250)
+
+    benchmark(insert_one)
+
+
+def test_bloom_add(benchmark):
+    bf = BloomFilter.for_capacity(40, 0.001)
+    counter = iter(range(10_000_000))
+    benchmark(lambda: bf.add(next(counter)))
+
+
+def test_bloom_query(benchmark):
+    bf = BloomFilter.for_capacity(40, 0.001)
+    for key in range(40):
+        bf.add(key)
+    counter = iter(range(10_000_000))
+    benchmark(lambda: (next(counter) % 80) in bf)
+
+
+def test_zipf_bulk_sampling(benchmark):
+    gen = ZipfGenerator(100_000, 1.2, seed=0)
+    benchmark(lambda: gen.sample(10_000))
+
+
+def test_latency_model_read(benchmark):
+    model = LatencyModel(num_channels=8)
+    counter = iter(range(1, 10_000_000))
+
+    def one_read():
+        t = float(next(counter))
+        model.read(int(t) % 512, t * 10.0)
+
+    benchmark(one_read)

@@ -1,0 +1,181 @@
+"""Benchmark targets: one per paper table/figure (DESIGN.md §2 index).
+
+Each bench replays the registered experiment at the selected scale and
+stores its headline reproduced numbers in ``extra_info``, so a
+``pytest benchmarks/ --benchmark-only --benchmark-json=out.json`` run
+leaves a machine-readable record of paper-vs-measured values.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments import run_experiment
+
+
+def _clean(value):
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def bench_experiment(benchmark, bench_scale, exp_id, extract):
+    result = run_once(benchmark, lambda: run_experiment(exp_id, scale=bench_scale))
+    for key, value in extract(result).items():
+        benchmark.extra_info[key] = _clean(value)
+    return result
+
+
+def test_fig04_passive_migration(benchmark, bench_scale):
+    bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig04",
+        lambda r: {
+            f"{row['config']}/{row['phase']}/l2swa_p": row["l2swa_p_measured"]
+            for row in r.rows
+        },
+    )
+
+
+def test_fig05_two_migrations(benchmark, bench_scale):
+    bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig05",
+        lambda r: {
+            f"{row['config']}/mean_passive": row["mean_passive"] for row in r.rows
+        },
+    )
+
+
+def test_fig06_op_impact(benchmark, bench_scale):
+    bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig06",
+        lambda r: {f"p@op{op:.0%}": p for op, p in r.final_p.items()},
+    )
+
+
+def test_fig08_hash_skew(benchmark, bench_scale):
+    bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig08",
+        lambda r: {
+            f"{row['workload']}/{row['num_sets']}x{row['set_size']}": row[
+                "remaining_fill"
+            ]
+            for row in r.rows
+        },
+    )
+
+
+def test_fig12_wa_main(benchmark, bench_scale):
+    result = bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig12",
+        lambda r: {row["engine"] + "/wa": row["wa"] for row in r.main_rows},
+    )
+    wa = {row["engine"]: row["wa"] for row in result.main_rows}
+    assert wa["Nemo"] < wa["FW"] < wa["KG"]
+
+
+def test_fig13_writes_per_minute(benchmark, bench_scale):
+    bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig13",
+        lambda r: {
+            row["engine"] + "/MiB_per_min": row["mean_mib_per_min"] for row in r.rows
+        },
+    )
+
+
+def test_fig14_wa_trend(benchmark, bench_scale):
+    bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig14",
+        lambda r: {name + "/final_wa": wa for name, wa in r.final_wa.items()},
+    )
+
+
+def test_fig15_read_latency(benchmark, bench_scale):
+    bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig15",
+        lambda r: {
+            f"{name}/{phase}/p99": w[phase][99.0]
+            for name, w in r.windows.items()
+            for phase in ("before", "after")
+        },
+    )
+
+
+def test_fig16_miss_ratio(benchmark, bench_scale):
+    bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig16",
+        lambda r: {name + "/miss": m for name, m in r.final_miss.items()},
+    )
+
+
+def test_fig17_sg_breakdown(benchmark, bench_scale):
+    result = bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig17",
+        lambda r: {row["variant"] + "/fill": row["fill"] for row in r.rows},
+    )
+    fills = {row["variant"]: row["fill"] for row in result.rows}
+    assert fills["naive"] < fills["B+P"]
+
+
+def test_fig18_pth_sensitivity(benchmark, bench_scale):
+    bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig18",
+        lambda r: {f"pth{row['pth']}/wa": row["wa"] for row in r.rows},
+    )
+
+
+def test_fig19_pbfg(benchmark, bench_scale):
+    bench_experiment(
+        benchmark,
+        bench_scale,
+        "fig19",
+        lambda r: {
+            **{c + "/top30": s for c, s in r.top30_share.items()},
+            **{f"cached{ratio:.0%}/pool": f for ratio, f in r.pool_ratio.items()},
+        },
+    )
+
+
+def test_table6_memory(benchmark, bench_scale):
+    result = bench_experiment(
+        benchmark,
+        bench_scale,
+        "table6",
+        lambda r: {name + "/bits": bits for name, bits in r.analytic.items()},
+    )
+    assert result.analytic["Nemo"] == pytest.approx(8.3, abs=0.1)
+
+
+def test_appendixA_pbfg_tradeoff(benchmark, bench_scale):
+    result = bench_experiment(
+        benchmark,
+        bench_scale,
+        "appendixA",
+        lambda r: {f"fp{row['fp']}/total_reads": row["total"] for row in r.rows},
+    )
+    rows = {row["fp"]: row for row in result.rows}
+    assert rows[0.001]["index_pages"] == 7

@@ -1,0 +1,32 @@
+"""Benchmark configuration.
+
+Every paper table/figure has a bench target that runs the corresponding
+experiment through pytest-benchmark (one round — these are replay
+workloads, not microseconds-level kernels) and attaches the experiment's
+headline numbers as benchmark ``extra_info`` so `--benchmark-json`
+output records the reproduced values next to the timings.
+
+Scale: ``--bench-scale`` chooses micro/small/full (default micro so the
+whole suite completes in minutes; EXPERIMENTS.md uses full).
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-scale",
+        choices=["micro", "small", "full"],
+        default="micro",
+        help="experiment scale for the figure/table benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request):
+    return request.config.getoption("--bench-scale")
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

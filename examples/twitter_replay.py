@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""The paper's headline comparison: five engines over the Twitter mix.
+
+Replays the merged Twitter workload (§5.1) against Log, Set, FairyWREN,
+Kangaroo, and Nemo — each under its Table 4 configuration — and prints
+a Figure-12a-style comparison of write amplification, miss ratio,
+memory overhead, and read amplification.
+
+Run:  python examples/twitter_replay.py [--requests N] [--zones Z]
+"""
+
+import argparse
+
+from repro import (
+    FairyWrenCache,
+    FlashGeometry,
+    KangarooCache,
+    LogStructuredCache,
+    NemoCache,
+    NemoConfig,
+    SetAssociativeCache,
+    merged_twitter_trace,
+    replay,
+)
+from repro.harness.report import format_table
+
+PAPER_WA = {"Log": 1.08, "Set": 16.31, "FW": 15.2, "KG": 55.59, "Nemo": 1.56}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=300_000)
+    parser.add_argument("--zones", type=int, default=16, help="1 MiB zones")
+    args = parser.parse_args()
+
+    geometry = FlashGeometry(
+        page_size=4096,
+        pages_per_block=64,
+        num_blocks=args.zones * 4,
+        blocks_per_zone=4,
+    )
+    trace = merged_twitter_trace(num_requests=args.requests, wss_scale=1 / 128)
+    print(f"device: {geometry.describe()}")
+    print(trace.describe())
+    print()
+
+    engines = [
+        LogStructuredCache(geometry),
+        SetAssociativeCache(geometry, op_ratio=0.5),
+        FairyWrenCache(geometry, log_fraction=0.05, op_ratio=0.05),
+        KangarooCache(geometry, log_fraction=0.05, op_ratio=0.05),
+        NemoCache(geometry, NemoConfig(flush_threshold=8, sgs_per_index_group=4)),
+    ]
+
+    rows = []
+    for engine in engines:
+        print(f"replaying {engine.name} ...")
+        result = replay(engine, trace)
+        rows.append(
+            [
+                engine.name,
+                engine.write_amplification,
+                PAPER_WA[engine.name],
+                result.miss_ratio,
+                engine.memory_overhead_bits_per_object(),
+                engine.stats.read_amplification,
+            ]
+        )
+
+    print()
+    print(
+        format_table(
+            ["engine", "WA", "paper WA", "miss", "mem b/obj", "read amp"], rows
+        )
+    )
+    print(
+        "\nShape check: Nemo ~ Log << FW < KG, Set ~ page/object — the"
+        " paper's Figure 12a ordering."
+    )
+
+
+if __name__ == "__main__":
+    main()

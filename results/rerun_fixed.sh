@@ -1,0 +1,4 @@
+#!/bin/sh
+# Re-run the experiments affected by the bounded candidate scan,
+# read-priority latency model, and fig13 windowing fix.
+python -m repro.experiments --scale full fig12 fig13 fig15 > /root/repo/results/full_scale_rerun.txt 2>&1

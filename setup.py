@@ -1,0 +1,11 @@
+"""Shim for environments that cannot run PEP 517 editable builds.
+
+All metadata lives in pyproject.toml; this file exists so that offline
+environments without the ``wheel`` package can still do editable
+installs via the legacy path (``python setup.py develop`` or pip with
+``use-pep517 = false``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,90 @@
+"""Short-term hash-skew / fill model (paper §4.1 C1, Figure 8).
+
+When an empty SG is populated by uniformly hashed keys, the sets fill as
+a balls-into-bins process: by the time the *first* set reaches capacity,
+the average set is far emptier.  The paper measures <25 % average fill
+at first-full for 4 KiB sets across SG sizes 64 MB–4 GB.
+
+Model: with mean arrival λ objects per set, a set's population is
+≈ Poisson(λ); the first of ``n`` sets hits capacity ``c`` when
+``n · P[Poisson(λ) ≥ c] ≈ 1``.  Solving for λ gives the expected
+average fill ``λ/c`` at first-full — decreasing in ``n`` (more sets →
+earlier extreme) and increasing in ``c`` (bigger sets → relatively
+later), exactly Figure 8's two trends.
+
+:func:`fill_at_first_full_simulated` is the empirical counterpart used
+by the fig08 experiment on real/synthetic key streams.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+def _poisson_tail(lam: float, c: int) -> float:
+    """P[Poisson(lam) >= c] via the complementary CDF (stable for
+    moderate c; the fill model uses c ≲ a few thousand)."""
+    # Sum the PMF up to c-1 in log space.
+    if lam <= 0:
+        return 0.0
+    log_term = -lam  # log pmf(0)
+    cdf = math.exp(log_term)
+    for k in range(1, c):
+        log_term += math.log(lam / k)
+        cdf += math.exp(log_term)
+    return max(0.0, 1.0 - cdf)
+
+
+def expected_fill_when_first_set_full(num_sets: int, set_capacity_objects: int) -> float:
+    """Expected average fill fraction when the first set reaches capacity.
+
+    Bisects for the λ with ``num_sets · P[Poisson(λ) ≥ c] = 1``; the
+    answer is ``λ/c``.
+    """
+    if num_sets <= 0 or set_capacity_objects <= 0:
+        raise ConfigError("num_sets and set_capacity_objects must be positive")
+    c = set_capacity_objects
+    lo, hi = 1e-6, float(c)
+    target = 1.0 / num_sets
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if _poisson_tail(mid, c) < target:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0 / c
+
+
+def fill_at_first_full_simulated(
+    num_sets: int,
+    set_size: int,
+    object_sizes: np.ndarray,
+    offsets: np.ndarray,
+) -> tuple[float, float]:
+    """Empirical first-full experiment on a concrete key stream.
+
+    Feeds ``(offsets[i], object_sizes[i])`` into an empty SG until some
+    set's byte occupancy would exceed ``set_size``; returns
+    ``(average_fill_of_all_sets, fill_of_remaining_sets)`` at that
+    moment — the latter is Figure 8's y-axis ("fill rate of remaining
+    sets when a set is first filled").
+    """
+    if len(object_sizes) != len(offsets):
+        raise ConfigError("object_sizes and offsets must align")
+    used = np.zeros(num_sets, dtype=np.int64)
+    full_set = -1
+    for size, off in zip(object_sizes, offsets):
+        if used[off] + size > set_size:
+            full_set = int(off)
+            break
+        used[off] += size
+    else:
+        raise ConfigError("stream ended before any set filled")
+    total_fill = float(used.sum() / (num_sets * set_size))
+    remaining = np.delete(used, full_set)
+    remaining_fill = float(remaining.sum() / ((num_sets - 1) * set_size))
+    return total_fill, remaining_fill

@@ -1,0 +1,110 @@
+"""PBFG accuracy ↔ read-amplification trade-off (paper Appendix A).
+
+With an SG pool of ``N`` SGs, page size ``w``, object size ``s``, and a
+bloom-filter false-positive rate ``x`` costing ``o = 1.44·log2(1/x)``
+bits per object, a worst-case lookup reads:
+
+- ``N·o/s`` index pages (Eq.: n filters per page = s/o, so N/n pages),
+- ``1 + (N−1)·x`` object pages in expectation.
+
+Eq. 10: total ≈ N·o/s + 1 + (N−1)·x.  Since ``o`` grows as ``x``
+shrinks, there is an interior optimum — more accuracy is *not* always
+better (the paper's 0.1 % → 0.01 % example goes from ≈8.35 to ≈10.03
+expected reads).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.bloom import bloom_bits_per_object, bloom_filter_bits
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PBFGTradeoff:
+    """Expected worst-case flash reads per lookup vs filter accuracy."""
+
+    num_sgs: int          # N
+    page_size: int        # w (bits basis cancels; bytes here)
+    object_size: float    # s (bytes)
+
+    def __post_init__(self) -> None:
+        if self.num_sgs <= 0 or self.page_size <= 0 or self.object_size <= 0:
+            raise ConfigError("all trade-off inputs must be positive")
+
+    def filters_per_page(self, fp_rate: float) -> float:
+        """n = s/o: set-level filters per index page (Appendix A)."""
+        o_bits = bloom_bits_per_object(fp_rate)
+        return self.object_size * 8.0 / o_bits
+
+    def index_pages(self, fp_rate: float) -> float:
+        """Pages to retrieve the PBFGs for all N SGs: N/n."""
+        return self.num_sgs / self.filters_per_page(fp_rate)
+
+    def object_reads(self, fp_rate: float) -> float:
+        """1 + (N−1)·x expected object-page reads."""
+        return 1.0 + (self.num_sgs - 1) * fp_rate
+
+    def total_reads(self, fp_rate: float) -> float:
+        """Eq. 10: expected total flash reads for one cold lookup."""
+        if not 0.0 < fp_rate < 1.0:
+            raise ConfigError("fp_rate must be in (0, 1)")
+        return self.index_pages(fp_rate) + self.object_reads(fp_rate)
+
+    # ------------------------------------------------------------------
+    # Discrete instantiation (the paper's §A "evaluation parameters")
+    # ------------------------------------------------------------------
+    def index_pages_discrete(self, fp_rate: float, bf_capacity: int = 40) -> int:
+        """Index pages with the deployed filter sizing.
+
+        The paper sizes each set-level filter for ``bf_capacity`` = 40
+        objects and rounds to whole bytes, then packs whole filters per
+        page: at 0.1 % that is 72 B filters, 56 per 4 KiB page,
+        ``ceil(350/56) = 7`` pages; at 0.01 % it is 96 B filters and 9
+        pages — exactly the appendix's 7 → 9 example.
+        """
+        filter_bytes = bloom_filter_bits(bf_capacity, fp_rate) // 8
+        per_page = self.page_size // filter_bytes
+        if per_page == 0:
+            raise ConfigError("filter larger than a page")
+        return -(-self.num_sgs // per_page)  # ceil
+
+    def total_reads_discrete(self, fp_rate: float, bf_capacity: int = 40) -> float:
+        """Appendix A's concrete total: discrete index pages + Eq. 10's
+        object term (≈8.35 at 0.1 %, ≈10.03 at 0.01 % for N = 350)."""
+        return self.index_pages_discrete(fp_rate, bf_capacity) + self.object_reads(
+            fp_rate
+        )
+
+
+def optimal_false_positive_rate(
+    tradeoff: PBFGTradeoff,
+    *,
+    lo: float = 1e-6,
+    hi: float = 0.2,
+) -> float:
+    """Minimise Eq. 10 over the false-positive rate (golden-section).
+
+    The objective is unimodal in log-space: index cost falls ∝ 1/log(1/x)
+    while object cost rises ∝ x.
+    """
+    if not 0.0 < lo < hi < 1.0:
+        raise ConfigError("need 0 < lo < hi < 1")
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = math.log(lo), math.log(hi)
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    fc = tradeoff.total_reads(math.exp(c))
+    fd = tradeoff.total_reads(math.exp(d))
+    for _ in range(80):
+        if fc < fd:
+            b, d, fd = d, c, fc
+            c = b - phi * (b - a)
+            fc = tradeoff.total_reads(math.exp(c))
+        else:
+            a, c, fc = c, d, fd
+            d = a + phi * (b - a)
+            fd = tradeoff.total_reads(math.exp(d))
+    return math.exp((a + b) / 2.0)

@@ -1,0 +1,153 @@
+"""Common cache-engine interface.
+
+Every engine (the four baselines and Nemo) implements
+:class:`CacheEngine`, so the harness, experiments, and tests drive them
+interchangeably — the role CacheLib's engine API plays in the paper's
+artifact.
+
+Semantics shared by all engines:
+
+- ``lookup(key, size)`` returns a :class:`LookupResult`; on a miss the
+  harness normally calls ``insert`` (read-through admission — a cache,
+  unlike a store, chooses what to keep, §2.1).
+- ``insert(key, size)`` admits (or refreshes) an object.  New-object
+  bytes are recorded as *logical writes* for ALWA; engines that rewrite
+  existing data (RMW, migration, GC writeback) do **not** count those
+  bytes as logical.
+- ``delete(key)`` is user-driven removal; eviction is engine-driven.
+- ``memory_overhead_bits_per_object()`` reports DRAM metadata cost in
+  the paper's bits/object currency (Table 6).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.flash.stats import FlashStats
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of one lookup.
+
+    Attributes
+    ----------
+    hit:
+        Whether the object was served from the cache (memory or flash).
+    latency_us:
+        Simulated service latency (0.0 when no latency model attached).
+    flash_reads:
+        Flash pages read to serve this lookup (read amplification probe).
+    source:
+        Where the hit came from: ``"memory"``, ``"flash"``, or ``"miss"``.
+    """
+
+    hit: bool
+    latency_us: float = 0.0
+    flash_reads: int = 0
+    source: str = "miss"
+
+
+@dataclass
+class EngineCounters:
+    """Request-level counters every engine maintains."""
+
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    insert_bytes: int = 0
+    deletes: int = 0
+    evicted_objects: int = 0
+    evicted_bytes: int = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        if self.lookups == 0:
+            return float("nan")
+        return 1.0 - self.hits / self.lookups
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.lookups == 0:
+            return float("nan")
+        return self.hits / self.lookups
+
+
+class CacheEngine(abc.ABC):
+    """Abstract flash-cache engine."""
+
+    #: Short display name ("Nemo", "FW", "KG", "Log", "Set").
+    name: str = "engine"
+
+    def __init__(self) -> None:
+        self.stats = FlashStats()
+        self.counters = EngineCounters()
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def lookup(self, key: int, size: int, *, now_us: float = 0.0) -> LookupResult:
+        """Look ``key`` up; never mutates flash placement."""
+
+    @abc.abstractmethod
+    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> None:
+        """Admit object ``key`` of ``size`` bytes."""
+
+    def delete(self, key: int) -> bool:
+        """User-driven removal.  Default: engines without cheap deletion
+        simply report absence; subclasses override where the structure
+        supports it."""
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def object_count(self) -> int:
+        """Objects currently resident (memory + flash)."""
+
+    @abc.abstractmethod
+    def memory_overhead_bits_per_object(self) -> float:
+        """DRAM metadata bits per cached object (Table 6 currency)."""
+
+    @property
+    def write_amplification(self) -> float:
+        """The engine's headline WA.
+
+        Engines on ZNS report ALWA (their DLWA is 1); engines on
+        conventional devices report total WA (ALWA × DLWA) — matching
+        the paper's convention ("we define Kangaroo's WA as the product
+        of ALWA and device-level garbage collection overhead").
+        """
+        return self.stats.alwa
+
+    def record_admission(self, size: int) -> None:
+        """Account one new-object admission of ``size`` logical bytes."""
+        self.counters.inserts += 1
+        self.counters.insert_bytes += size
+        self.stats.record_logical(size)
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        """Harness sampling hook: stats + request counters."""
+        snap = self.stats.snapshot()
+        snap.update(
+            {
+                "lookups": self.counters.lookups,
+                "hits": self.counters.hits,
+                "miss_ratio": self.counters.miss_ratio,
+                "inserts": self.counters.inserts,
+                "evicted_objects": self.counters.evicted_objects,
+                "wa": self.write_amplification,
+                "object_count": self.object_count(),
+            }
+        )
+        return snap
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(objects={self.object_count()}, "
+            f"wa={self.write_amplification:.2f}, "
+            f"miss={self.counters.miss_ratio:.3f})"
+        )

@@ -1,0 +1,252 @@
+"""Shared engine logic for the hierarchical caches (Kangaroo, FairyWREN).
+
+Both engines are an :class:`~repro.baselines.hlog.HierarchicalLog` front
+tier plus an :class:`~repro.baselines.hset.HierarchicalSet` back tier on
+one ZNS device, and differ only in two structural switches (§3):
+
+============  ==========  ===========  ==========================
+engine        hot_cold    merge_on_gc  GC discipline
+============  ==========  ===========  ==========================
+Kangaroo      no          no           Case 3.1 — verbatim set
+                                       relocation, WA multiplies
+FairyWREN     yes         yes          Case 3.2 — GC folded into
+                                       log-to-set migration
+============  ==========  ===========  ==========================
+
+The insert path: admit to HLog; when the log is out of space, reclaim
+its oldest zone and flush every bucket that still has objects in that
+zone into the back tier (**passive migration**, Case 2).  Back-tier
+space pressure triggers the HSet's own GC from inside its write path.
+
+Hotness is a 1-bit-per-object access flag (the "Evict 1 b" row of
+Table 6): set on lookup hit, cleared on eviction, consulted by the
+back tier's overflow policy.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import CacheEngine, LookupResult
+from repro.baselines.hlog import HierarchicalLog
+from repro.baselines.hset import CASE_PASSIVE, HierarchicalSet
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.latency import LatencyModel
+from repro.flash.zns import ZNSDevice
+
+#: Table 6 metadata widths (bits per object).
+LOG_BITS_PER_OBJECT = 48.0
+SET_INDEX_BITS = 3.1   # per-set bloom filters
+SET_OTHER_BITS = 3.0   # set bookkeeping
+EVICT_BITS = 1.0       # 1-bit access counters
+ADDITIONAL_BITS = 0.8  # buffers amortised over the object population
+
+
+class HierarchicalCacheBase(CacheEngine):
+    """HLog + HSet engine; see the module docstring for the two modes.
+
+    Parameters
+    ----------
+    geometry:
+        Device layout; zones are split between log and set regions.
+    log_fraction:
+        Fraction of the device's zones given to the HLog (Table 4's
+        "Log of cache size", 5 % by default).
+    op_ratio:
+        The paper's ``X``: fraction of the set region reserved for GC
+        headroom; usable sets are ``(1 - X)`` of the region's pages.
+    hot_cold / merge_on_gc:
+        The two switches distinguishing FairyWREN from Kangaroo.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        *,
+        log_fraction: float = 0.05,
+        op_ratio: float = 0.05,
+        hot_cold: bool,
+        merge_on_gc: bool,
+        latency: LatencyModel | None = None,
+        hash_seed: int = 17,
+        promote_batch_bytes: int | None = None,
+        victim_policy: str = "fifo",
+    ) -> None:
+        super().__init__()
+        if not 0.0 < log_fraction < 1.0:
+            raise ConfigError("log_fraction must be in (0, 1)")
+        if not 0.0 < op_ratio < 1.0:
+            raise ConfigError("op_ratio must be in (0, 1)")
+        self.geometry = geometry
+        self.log_fraction = log_fraction
+        self.op_ratio = op_ratio
+        self.device = ZNSDevice(geometry, stats=self.stats, latency=latency)
+
+        num_zones = geometry.num_zones
+        log_zone_count = max(1, round(num_zones * log_fraction))
+        set_zone_count = num_zones - log_zone_count
+        if set_zone_count < 3:
+            raise ConfigError(
+                f"geometry too small: {set_zone_count} set zones "
+                "(need >= 3 for GC headroom)"
+            )
+        set_region_pages = set_zone_count * geometry.pages_per_zone
+        usable_sets = int((1.0 - op_ratio) * set_region_pages)
+        num_buckets = usable_sets // 2 if hot_cold else usable_sets
+        if num_buckets <= 0:
+            raise ConfigError("op_ratio leaves no usable sets")
+
+        self.hot_keys: set[int] = set()
+        self.hlog = HierarchicalLog(
+            self.device,
+            list(range(log_zone_count)),
+            num_buckets,
+            hash_seed=hash_seed,
+        )
+        self.hset = HierarchicalSet(
+            self.device,
+            list(range(log_zone_count, num_zones)),
+            num_buckets,
+            hot_cold=hot_cold,
+            merge_on_gc=merge_on_gc,
+            bucket_drainer=self.hlog.drain_bucket,
+            is_hot=self.hot_keys.__contains__,
+            on_evict=self._on_evict,
+            promote_batch_bytes=promote_batch_bytes,
+            victim_policy=victim_policy,
+        )
+
+    # ------------------------------------------------------------------
+    # CacheEngine API
+    # ------------------------------------------------------------------
+    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> None:
+        self.record_admission(size)
+        if self.hlog.insert(key, size, now_us=now_us):
+            return
+        self._passive_migration_round(now_us=now_us)
+        if not self.hlog.insert(key, size, now_us=now_us):
+            raise ConfigError(
+                "HLog cannot absorb the object even after reclaim; "
+                "the log region is too small for this object size"
+            )
+
+    def lookup(self, key: int, size: int, *, now_us: float = 0.0) -> LookupResult:
+        self.counters.lookups += 1
+        entry = self.hlog.find(key)
+        if entry is not None:
+            self.counters.hits += 1
+            self.hot_keys.add(key)
+            self.stats.record_logical_read(entry.size)
+            if entry.page < 0:
+                return LookupResult(hit=True, source="memory")
+            _, lat = self.device.read(entry.page, now_us=now_us)
+            return LookupResult(
+                hit=True, latency_us=lat, flash_reads=1, source="flash"
+            )
+        bucket = self.hlog.bucket_of(key)
+        found = self.hset.find(key, bucket)
+        if found is None:
+            return LookupResult(hit=False)
+        set_id, obj_size = found
+        self.counters.hits += 1
+        self.hot_keys.add(key)
+        self.stats.record_logical_read(obj_size)
+        if set_id < 0:  # promotion staging buffer (DRAM)
+            return LookupResult(hit=True, source="memory")
+        _, lat = self.device.read(self.hset.location[set_id], now_us=now_us)
+        return LookupResult(hit=True, latency_us=lat, flash_reads=1, source="flash")
+
+    def delete(self, key: int) -> bool:
+        removed = False
+        entry = self.hlog.find(key)
+        if entry is not None:
+            bucket = self.hlog.buckets[self.hlog.bucket_of(key)]
+            bucket.pop(key, None)
+            self.hlog._object_count -= 1
+            removed = True
+        bucket_id = self.hlog.bucket_of(key)
+        found = self.hset.find(key, bucket_id)
+        if found is not None:
+            set_id, _ = found
+            if set_id < 0:
+                self.hset.pending_promotions[bucket_id].pop(key, None)
+            else:
+                self.hset.sets[set_id].remove(key)
+            removed = True
+        if removed:
+            self.hot_keys.discard(key)
+            self.counters.deletes += 1
+        return removed
+
+    def object_count(self) -> int:
+        return self.hlog.object_count() + self.hset.object_count()
+
+    def memory_overhead_bits_per_object(self) -> float:
+        """Table 6 accounting, weighted by the log/set capacity split."""
+        set_bits = SET_INDEX_BITS + SET_OTHER_BITS + EVICT_BITS
+        return (
+            self.log_fraction * LOG_BITS_PER_OBJECT
+            + (1.0 - self.log_fraction) * set_bits
+            + ADDITIONAL_BITS
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _passive_migration_round(self, *, now_us: float = 0.0) -> None:
+        """Reclaim the oldest log zone and flush its buckets (Case 2)."""
+        buckets = self.hlog.reclaim_oldest_zone(now_us=now_us)
+        for b in buckets:
+            objs = self.hlog.drain_bucket(b)
+            if objs:
+                self.hset.install_bucket(b, objs, case=CASE_PASSIVE, now_us=now_us)
+
+    def _on_evict(self, key: int, size: int) -> None:
+        self.hot_keys.discard(key)
+        self.counters.evicted_objects += 1
+        self.counters.evicted_bytes += size
+
+    # ------------------------------------------------------------------
+    # Instrumentation passthrough (experiments read these)
+    # ------------------------------------------------------------------
+    @property
+    def n_log_pages(self) -> int:
+        return self.hlog.capacity_pages
+
+    @property
+    def n_set_pages(self) -> int:
+        return len(self.hset.zone_ids) * self.geometry.pages_per_zone
+
+    def model(self, object_size: float) -> "HierarchicalModel":
+        """§3's analytic model instantiated with this engine's geometry."""
+        from repro.analysis.wa_model import HierarchicalModel
+
+        return HierarchicalModel(
+            page_size=self.geometry.page_size,
+            object_size=object_size,
+            n_log_pages=self.n_log_pages,
+            n_set_pages=self.n_set_pages,
+            op_ratio=self.op_ratio,
+            hot_cold=self.hset.hot_cold,
+        )
+
+    @property
+    def p_fraction(self) -> float:
+        """Fraction of RMW set writes from passive migration (Fig. 6)."""
+        return self.hset.p_fraction
+
+    def l2swa(self, case: str | None = None) -> float:
+        return self.hset.l2swa(case)
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        snap = super().metrics_snapshot()
+        snap.update(
+            {
+                "p_fraction": self.hset.p_fraction,
+                "passive_rmw": self.hset.passive_rmw_count,
+                "active_rmw": self.hset.active_rmw_count,
+                "gc_runs": self.hset.gc_runs,
+                "log_objects": self.hlog.object_count(),
+                "set_objects": self.hset.object_count(),
+            }
+        )
+        return snap

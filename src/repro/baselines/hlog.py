@@ -1,0 +1,236 @@
+"""Hierarchical-cache front tier: the HLog (§2.3, Figure 2).
+
+The HLog is a small append-only flash log (typically 5 % of the device)
+fronted by an in-memory hash table with one bucket per *migration
+target* (a back-tier set for Kangaroo, a cold set for FairyWREN).  Each
+bucket records the objects currently resident in the log that map to its
+set, "ensuring the table entries number equals the number of sets"
+(§2.3) — this is what lets a single back-tier set write install a whole
+bucket of objects at once.
+
+Life cycle:
+
+1. Incoming objects are buffered into a 4 KiB page; full pages append to
+   the log's zones (high fill rate — the ``1/E(FR_i)`` term of Eq. 1 is
+   close to 1).
+2. When the log runs out of space, the oldest zone is reclaimed: every
+   object in it that is still *current* (not superseded, not already
+   actively migrated) forces its bucket to be flushed to the back tier —
+   **passive migration**, the paper's Case 2.
+3. FairyWREN additionally drains buckets early during back-tier GC —
+   **active migration**, Case 3.2 — via :meth:`drain_bucket`.
+
+Sequence numbers disambiguate superseded copies: a bucket entry and its
+log-page record carry the same ``seq``; only a matching pair is current.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, EngineStateError, ObjectTooLargeError
+from repro.flash.zns import ZNSDevice
+from repro.hashing import bucket_of
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One object resident in the HLog."""
+
+    key: int
+    size: int
+    seq: int
+    page: int  # physical flash page; -1 while still in the write buffer
+
+
+class HierarchicalLog:
+    """Flash log + per-set bucket table for hierarchical caches.
+
+    Parameters
+    ----------
+    device:
+        The shared ZNS device; the log owns ``zone_ids`` on it.
+    zone_ids:
+        Zones dedicated to the log region (FIFO-recycled).
+    num_buckets:
+        Hash-table buckets == number of migration-target sets.
+    hash_seed:
+        Seed for the key→bucket hash (shared with the back tier so both
+        agree on placement).
+    """
+
+    def __init__(
+        self,
+        device: ZNSDevice,
+        zone_ids: list[int],
+        num_buckets: int,
+        *,
+        hash_seed: int = 17,
+    ) -> None:
+        if not zone_ids:
+            raise ConfigError("HLog needs at least one zone")
+        if num_buckets <= 0:
+            raise ConfigError("num_buckets must be positive")
+        self.device = device
+        self.zone_ids = list(zone_ids)
+        self.num_buckets = num_buckets
+        self.hash_seed = hash_seed
+        self.page_size = device.geometry.page_size
+
+        # bucket id -> {key: LogEntry}; insertion order preserved.
+        self.buckets: list[dict[int, LogEntry]] = [dict() for _ in range(num_buckets)]
+        self._object_count = 0
+
+        # Write buffer for the open page.
+        self._buffer: list[LogEntry] = []
+        self._buffer_bytes = 0
+
+        # Zone FIFO: zones currently holding log pages, oldest first.
+        self._zone_fifo: deque[int] = deque()
+        self._free_zones: deque[int] = deque(zone_ids)
+        self._open_zone: int | None = None
+
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def bucket_of(self, key: int) -> int:
+        return bucket_of(key, self.num_buckets, seed=self.hash_seed)
+
+    def find(self, key: int) -> LogEntry | None:
+        """Current log entry for ``key``, or None."""
+        return self.buckets[self.bucket_of(key)].get(key)
+
+    def object_count(self) -> int:
+        return self._object_count
+
+    @property
+    def capacity_pages(self) -> int:
+        return len(self.zone_ids) * self.device.geometry.pages_per_zone
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> bool:
+        """Buffer one object into the log.
+
+        Returns ``False`` when the log is out of space — the caller must
+        run :meth:`reclaim_oldest_zone` (passive migration) and retry.
+        A superseded copy of ``key`` is invalidated in place.
+        """
+        if size > self.page_size:
+            raise ObjectTooLargeError(
+                f"object of {size} B exceeds the {self.page_size} B page"
+            )
+        if self._buffer_bytes + size > self.page_size and not self._flush_buffer(
+            now_us=now_us
+        ):
+            return False
+        b = self.bucket_of(key)
+        old = self.buckets[b].pop(key, None)
+        if old is not None:
+            self._object_count -= 1
+        self._seq += 1
+        entry = LogEntry(key=key, size=size, seq=self._seq, page=-1)
+        self.buckets[b][key] = entry
+        self._buffer.append(entry)
+        self._buffer_bytes += size
+        self._object_count += 1
+        return True
+
+    def _flush_buffer(self, *, now_us: float = 0.0) -> bool:
+        """Write the open page buffer to flash; False when out of space."""
+        if not self._buffer:
+            return True
+        zone_id = self._writable_zone()
+        if zone_id is None:
+            return False
+        payload = [(e.key, e.size, e.seq) for e in self._buffer]
+        page, _ = self.device.append(zone_id, payload, now_us=now_us)
+        for e in self._buffer:
+            b = self.bucket_of(e.key)
+            cur = self.buckets[b].get(e.key)
+            if cur is not None and cur.seq == e.seq:
+                self.buckets[b][e.key] = LogEntry(e.key, e.size, e.seq, page)
+        self._buffer.clear()
+        self._buffer_bytes = 0
+        if self.device.zones[zone_id].remaining_pages == 0:
+            self._open_zone = None
+        return True
+
+    def _writable_zone(self) -> int | None:
+        if self._open_zone is not None:
+            return self._open_zone
+        if not self._free_zones:
+            return None
+        zone_id = self._free_zones.popleft()
+        self._open_zone = zone_id
+        self._zone_fifo.append(zone_id)
+        return zone_id
+
+    @property
+    def is_full(self) -> bool:
+        """True when an insert would fail (no free zone for the buffer)."""
+        return (
+            self._open_zone is None
+            and not self._free_zones
+            and self._buffer_bytes > 0
+        )
+
+    def needs_reclaim(self, size: int) -> bool:
+        """Would inserting ``size`` more bytes require a zone reclaim?"""
+        if self._buffer_bytes + size <= self.page_size:
+            return False
+        return self._open_zone is None and not self._free_zones
+
+    # ------------------------------------------------------------------
+    # Migration support
+    # ------------------------------------------------------------------
+    def reclaim_oldest_zone(self, *, now_us: float = 0.0) -> list[int]:
+        """Reclaim the oldest log zone (passive-migration trigger).
+
+        Returns the bucket ids whose objects were resident in the zone
+        and are still current — the caller must flush each of those
+        buckets into the back tier (:meth:`drain_bucket`) *before* the
+        next insert, because this method drops the flash copies.
+        """
+        if not self._zone_fifo:
+            raise EngineStateError("no log zone to reclaim")
+        victim = self._zone_fifo.popleft()
+        if victim == self._open_zone:
+            self._open_zone = None
+        geo = self.device.geometry
+        first = geo.zone_first_page(victim)
+        wp = self.device.zones[victim].write_pointer
+        stale_buckets: set[int] = set()
+        for page in range(first, first + wp):
+            payload = self.device.nand.read(page)
+            for key, _size, seq in payload:
+                b = self.bucket_of(key)
+                cur = self.buckets[b].get(key)
+                if cur is not None and cur.seq == seq:
+                    stale_buckets.add(b)
+        self.device.reset_zone(victim, now_us=now_us)
+        self._free_zones.append(victim)
+        return sorted(stale_buckets)
+
+    def drain_bucket(self, bucket_id: int) -> list[tuple[int, int]]:
+        """Remove and return all current objects of one bucket.
+
+        Used by both migration paths: the back tier installs the
+        returned ``(key, size)`` pairs into the bucket's target set.
+        """
+        bucket = self.buckets[bucket_id]
+        objs = [(e.key, e.size) for e in bucket.values()]
+        self._object_count -= len(bucket)
+        bucket.clear()
+        return objs
+
+    def bucket_len(self, bucket_id: int) -> int:
+        return len(self.buckets[bucket_id])
+
+    def mean_bucket_len(self) -> float:
+        """Mean objects per bucket — E(L_i) of Eq. 5."""
+        return self._object_count / self.num_buckets

@@ -1,0 +1,490 @@
+"""Hierarchical-cache back tier: the HSet (§2.3, §3).
+
+The HSet holds the bulk of the cache as fixed 4 KiB sets.  Physically the
+sets live log-structured in zones of the shared device: every set write
+appends a fresh copy of the set's page to the open zone and invalidates
+the previous copy (a host-FTL page map).  When the set region runs out
+of zones, the oldest zone is reclaimed (FIFO), and its still-current
+pages are handled per the paper's two GC disciplines:
+
+- **Kangaroo (Case 3.1)** — valid sets are relocated verbatim; those
+  relocation writes are pure garbage-collection write amplification
+  (GCWA) that *multiplies* with log-to-set migration WA.
+- **FairyWREN (Case 3.2)** — each valid *cold* set is merged with its
+  HLog bucket on the way out ("a variant RMW operation: it reads two
+  pages … and writes one"), folding GC into migration.  These are the
+  paper's **active migrations**, whose short bucket residence time makes
+  L2SWA(A) ≈ 2 × L2SWA(P) (§3.2.2).
+
+FairyWREN's hot/cold division is also implemented here: each hash bucket
+owns a *cold* set (migration target) and a *hot* partner set.  Objects
+with their access bit set that overflow a cold set are staged in a small
+in-memory promotion buffer and batch-written to the hot set, so hot-set
+writes stay a minor WA term while halving the migration hash range
+(Eq. 5's ½·N'_set buckets).
+
+Instrumentation: per-write histograms of newly-installed objects for the
+passive and active cases (Figures 4 and 5), passive/active RMW counts
+(the paper's ``p``, Figure 6), and GC victim valid-fractions (Kangaroo's
+50–80 % observation).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Callable
+
+from repro.errors import ConfigError, EngineStateError, ObjectTooLargeError
+from repro.flash.zns import ZNSDevice
+
+#: Set-write cases, used for instrumentation.
+CASE_FIRST = "first"        # set written for the first time (early stage)
+CASE_PASSIVE = "passive"    # Case 2: log-full migration (RMW)
+CASE_ACTIVE = "active"      # Case 3.2: GC-merged migration (RMW)
+CASE_RELOCATE = "relocate"  # Case 3.1: verbatim GC relocation
+CASE_PROMOTE = "promote"    # FW hot-set batch promotion
+
+
+class _SetMirror:
+    """DRAM mirror of one set's membership (insertion-ordered)."""
+
+    __slots__ = ("objects", "used_bytes")
+
+    def __init__(self) -> None:
+        self.objects: dict[int, int] = {}
+        self.used_bytes = 0
+
+    def put(self, key: int, size: int) -> None:
+        old = self.objects.pop(key, None)
+        if old is not None:
+            self.used_bytes -= old
+        self.objects[key] = size
+        self.used_bytes += size
+
+    def pop_oldest(self) -> tuple[int, int]:
+        key, size = next(iter(self.objects.items()))
+        del self.objects[key]
+        self.used_bytes -= size
+        return key, size
+
+    def remove(self, key: int) -> int | None:
+        size = self.objects.pop(key, None)
+        if size is not None:
+            self.used_bytes -= size
+        return size
+
+
+class HierarchicalSet:
+    """Log-structured set store with pluggable GC discipline.
+
+    Parameters
+    ----------
+    device:
+        Shared ZNS device; the set region owns ``zone_ids``.
+    num_buckets:
+        Migration-target count (= HLog bucket count).
+    hot_cold:
+        FairyWREN mode: each bucket gets a cold set and a hot partner
+        set (2 × num_buckets physical sets).  Kangaroo mode: one set per
+        bucket.
+    merge_on_gc:
+        FairyWREN mode: GC merges each valid cold set with its HLog
+        bucket (active migration).  Kangaroo mode: verbatim relocation.
+    bucket_drainer:
+        ``bucket_id -> list[(key, size)]`` callback into the HLog, used
+        by active migration.
+    is_hot:
+        ``key -> bool`` callback (the engine's 1-bit access counters).
+    on_evict:
+        ``(key, size) -> None`` callback for objects dropped from the
+        cache (miss-ratio accounting and hot-bit cleanup).
+    promote_batch_bytes:
+        Hot promotions are staged in memory per bucket and flushed to
+        the hot set once the batch reaches this size.
+    """
+
+    def __init__(
+        self,
+        device: ZNSDevice,
+        zone_ids: list[int],
+        num_buckets: int,
+        *,
+        hot_cold: bool,
+        merge_on_gc: bool,
+        bucket_drainer: Callable[[int], list[tuple[int, int]]],
+        is_hot: Callable[[int], bool],
+        on_evict: Callable[[int, int], None],
+        promote_batch_bytes: int | None = None,
+        victim_policy: str = "fifo",
+    ) -> None:
+        if not zone_ids:
+            raise ConfigError("HSet needs at least one zone")
+        if victim_policy not in ("fifo", "greedy"):
+            raise ConfigError("victim_policy must be 'fifo' or 'greedy'")
+        if num_buckets <= 0:
+            raise ConfigError("num_buckets must be positive")
+        self.device = device
+        self.zone_ids = list(zone_ids)
+        self.num_buckets = num_buckets
+        self.hot_cold = hot_cold
+        self.merge_on_gc = merge_on_gc
+        self.bucket_drainer = bucket_drainer
+        self.is_hot = is_hot
+        self.on_evict = on_evict
+        self.page_size = device.geometry.page_size
+        self.promote_batch_bytes = (
+            promote_batch_bytes
+            if promote_batch_bytes is not None
+            else self.page_size // 2
+        )
+
+        self.num_sets = num_buckets * (2 if hot_cold else 1)
+        region_pages = len(zone_ids) * device.geometry.pages_per_zone
+        if self.num_sets > region_pages:
+            raise ConfigError(
+                f"{self.num_sets} sets cannot fit the {region_pages}-page region"
+            )
+        self.sets = [_SetMirror() for _ in range(self.num_sets)]
+        self.location = [-1] * self.num_sets  # set id -> current flash page
+
+        self.victim_policy = victim_policy
+        self._page_owner: dict[int, int] = {}  # flash page -> set id
+        self._free_zones: deque[int] = deque(zone_ids)
+        self._zone_fifo: deque[int] = deque()
+        self._open_zone: int | None = None
+        self._in_gc = False
+        #: live (current-copy) pages per zone, for greedy victim choice.
+        self._zone_valid: Counter[int] = Counter()
+
+        # FW promotion staging: bucket -> {key: size}.
+        self.pending_promotions: list[dict[int, int]] = [
+            dict() for _ in range(num_buckets)
+        ]
+
+        # Instrumentation.
+        self.passive_hist: Counter[int] = Counter()
+        self.active_hist: Counter[int] = Counter()
+        self.case_writes: Counter[str] = Counter()
+        self.case_new_bytes: Counter[str] = Counter()
+        self.gc_runs = 0
+        self.gc_valid_fractions: list[float] = []
+
+    # ------------------------------------------------------------------
+    # Set addressing
+    # ------------------------------------------------------------------
+    def cold_set_of(self, bucket: int) -> int:
+        return bucket
+
+    def hot_set_of(self, bucket: int) -> int:
+        if not self.hot_cold:
+            raise EngineStateError("hot sets only exist in hot/cold mode")
+        return self.num_buckets + bucket
+
+    def find(self, key: int, bucket: int) -> tuple[int, int] | None:
+        """Locate ``key``: returns ``(set_id, size)`` or None.
+
+        Checks the promotion staging buffer first (objects there are in
+        DRAM, flagged with set_id == -1).
+        """
+        if self.hot_cold:
+            size = self.pending_promotions[bucket].get(key)
+            if size is not None:
+                return (-1, size)
+        cold = self.cold_set_of(bucket)
+        size = self.sets[cold].objects.get(key)
+        if size is not None:
+            return (cold, size)
+        if self.hot_cold:
+            hot = self.hot_set_of(bucket)
+            size = self.sets[hot].objects.get(key)
+            if size is not None:
+                return (hot, size)
+        return None
+
+    def object_count(self) -> int:
+        n = sum(len(s.objects) for s in self.sets)
+        if self.hot_cold:
+            n += sum(len(p) for p in self.pending_promotions)
+        return n
+
+    def used_bytes(self) -> int:
+        n = sum(s.used_bytes for s in self.sets)
+        if self.hot_cold:
+            n += sum(sum(p.values()) for p in self.pending_promotions)
+        return n
+
+    # ------------------------------------------------------------------
+    # Migration entry points
+    # ------------------------------------------------------------------
+    def install_bucket(
+        self,
+        bucket: int,
+        objs: list[tuple[int, int]],
+        *,
+        case: str,
+        now_us: float = 0.0,
+    ) -> None:
+        """Install a drained HLog bucket into its cold set (one write)."""
+        if not objs:
+            return
+        set_id = self.cold_set_of(bucket)
+        hist = self.passive_hist if case == CASE_PASSIVE else self.active_hist
+        hist[len(objs)] += 1
+        self._write_set(set_id, objs, case=case, bucket=bucket, now_us=now_us)
+        if self.hot_cold:
+            self._maybe_flush_promotions(bucket, now_us=now_us)
+
+    # ------------------------------------------------------------------
+    # Core set write (RMW + overflow policy)
+    # ------------------------------------------------------------------
+    def _write_set(
+        self,
+        set_id: int,
+        new_objs: list[tuple[int, int]],
+        *,
+        case: str,
+        bucket: int | None,
+        now_us: float = 0.0,
+    ) -> None:
+        mirror = self.sets[set_id]
+        first_write = self.location[set_id] < 0
+        if first_write and case in (CASE_PASSIVE, CASE_ACTIVE):
+            case_label = CASE_FIRST
+        else:
+            case_label = case
+
+        # RMW read of the current copy (Case 2's "read-modify-write").
+        # Migration is background work (async threads in the paper's
+        # implementation), so it must not stall foreground reads.
+        if not first_write:
+            self.device.read(
+                self.location[set_id], now_us=now_us, background=True
+            )
+
+        new_bytes = 0
+        for key, size in new_objs:
+            if size > self.page_size:
+                raise ObjectTooLargeError(
+                    f"object of {size} B exceeds the {self.page_size} B set"
+                )
+            new_bytes += size
+            mirror.put(key, size)
+
+        self._shrink_to_fit(set_id, bucket)
+        self._append_set_page(set_id, now_us=now_us)
+
+        self.case_writes[case_label] += 1
+        self.case_new_bytes[case_label] += new_bytes
+
+    def _shrink_to_fit(self, set_id: int, bucket: int | None) -> None:
+        """Evict (or stage for promotion) until the set fits its page."""
+        mirror = self.sets[set_id]
+        is_cold = self.hot_cold and set_id < self.num_buckets
+        while mirror.used_bytes > self.page_size:
+            key, size = mirror.pop_oldest()
+            if is_cold and bucket is not None and self.is_hot(key):
+                self.pending_promotions[bucket][key] = size
+            else:
+                self.on_evict(key, size)
+
+    def _maybe_flush_promotions(self, bucket: int, *, now_us: float = 0.0) -> None:
+        pending = self.pending_promotions[bucket]
+        if sum(pending.values()) < self.promote_batch_bytes:
+            return
+        objs = list(pending.items())
+        pending.clear()
+        self._write_set(
+            self.hot_set_of(bucket),
+            objs,
+            case=CASE_PROMOTE,
+            bucket=None,
+            now_us=now_us,
+        )
+
+    # ------------------------------------------------------------------
+    # Physical placement + GC
+    # ------------------------------------------------------------------
+    def _append_set_page(self, set_id: int, *, now_us: float = 0.0) -> None:
+        if not self._in_gc:
+            self._ensure_headroom(now_us=now_us)
+        zone_id = self._writable_zone()
+        old_page = self.location[set_id]
+        if old_page >= 0:
+            self._page_owner.pop(old_page, None)
+            self._zone_valid[self.device.geometry.page_to_zone(old_page)] -= 1
+        payload = dict(self.sets[set_id].objects)
+        page, _ = self.device.append(zone_id, payload, now_us=now_us)
+        self.location[set_id] = page
+        self._page_owner[page] = set_id
+        self._zone_valid[zone_id] += 1
+        if self.device.zones[zone_id].remaining_pages == 0:
+            self._open_zone = None
+
+    def _writable_zone(self) -> int:
+        if self._open_zone is not None:
+            return self._open_zone
+        if not self._free_zones:
+            raise EngineStateError("set region out of space (GC starved)")
+        zone_id = self._free_zones.popleft()
+        self._open_zone = zone_id
+        self._zone_fifo.append(zone_id)
+        return zone_id
+
+    def _free_pages(self) -> int:
+        pages = len(self._free_zones) * self.device.geometry.pages_per_zone
+        if self._open_zone is not None:
+            pages += self.device.zones[self._open_zone].remaining_pages
+        return pages
+
+    def _ensure_headroom(self, *, now_us: float = 0.0) -> None:
+        """Run GC until more than one zone of headroom is free.
+
+        GC itself consumes headroom by relocating valid pages, so the
+        trigger keeps a one-zone reserve (collect while every free page
+        lives in the reserve), and :meth:`_gc_once` guarantees a net
+        gain of at least one page per run, so this loop terminates.
+        """
+        ppz = self.device.geometry.pages_per_zone
+        while self._free_pages() <= ppz:
+            if not self._zone_fifo or (
+                len(self._zone_fifo) == 1 and self._zone_fifo[0] == self._open_zone
+            ):
+                if self._free_pages() >= 1:
+                    return
+                raise EngineStateError("set region exhausted with nothing to GC")
+            self._gc_once(now_us=now_us)
+
+    def _pick_victim(self) -> int:
+        """Choose the zone to reclaim.
+
+        ``fifo`` takes the oldest written zone (FairyWREN: its merged
+        GC turns old cold sets into useful active migrations).
+        ``greedy`` takes the zone with the fewest live pages (Kangaroo:
+        pure relocation cost, so minimise valid data — the standard
+        device-GC policy, and what keeps the paper's observed victim
+        validity in the 50–80 % band instead of degenerating into
+        cold-data accumulation).
+        """
+        candidates = [z for z in self._zone_fifo if z != self._open_zone]
+        if not candidates:
+            raise EngineStateError("no GC victim available")
+        if self.victim_policy == "fifo":
+            return candidates[0]
+        return min(candidates, key=lambda z: self._zone_valid[z])
+
+    def _gc_once(self, *, now_us: float = 0.0) -> None:
+        victim = self._pick_victim()
+        self._zone_fifo.remove(victim)
+        geo = self.device.geometry
+        first = geo.zone_first_page(victim)
+        wp = self.device.zones[victim].write_pointer
+        valid_sets = []
+        for page in range(first, first + wp):
+            set_id = self._page_owner.get(page)
+            if set_id is not None and self.location[set_id] == page:
+                valid_sets.append(set_id)
+        self.gc_runs += 1
+        self.gc_valid_fractions.append(len(valid_sets) / wp if wp else 0.0)
+
+        # Guarantee forward progress: relocations must fit the free
+        # space, and when the victim is fully valid at least one set is
+        # dropped so the zone reclaim nets a page.  (The paper notes
+        # dropping valid sets is possible but costly; we only do it to
+        # avoid GC livelock, which real deployments avoid via OP.)
+        budget = self._free_pages()
+        max_relocate = min(len(valid_sets), budget)
+        if len(valid_sets) >= wp:
+            max_relocate = min(max_relocate, wp - 1)
+
+        self._in_gc = True
+        try:
+            self._gc_install(valid_sets, max_relocate, now_us=now_us)
+        finally:
+            self._in_gc = False
+        for page in range(first, first + wp):
+            self._page_owner.pop(page, None)
+        self.device.reset_zone(victim, now_us=now_us)
+        self._free_zones.append(victim)
+        if self._zone_valid[victim] != 0:
+            raise EngineStateError(
+                f"zone {victim} reclaimed with {self._zone_valid[victim]} "
+                "valid pages unaccounted"
+            )
+        del self._zone_valid[victim]
+
+    def _gc_install(
+        self, valid_sets: list[int], max_relocate: int, *, now_us: float = 0.0
+    ) -> None:
+        for idx, set_id in enumerate(valid_sets):
+            if idx >= max_relocate:
+                self._drop_set(set_id)
+                continue
+            if (
+                self.merge_on_gc
+                and (not self.hot_cold or set_id < self.num_buckets)
+            ):
+                # Active migration (Case 3.2): merge the bucket in.
+                bucket = set_id
+                objs = self.bucket_drainer(bucket)
+                self.active_hist[len(objs)] += 1
+                self._write_set(
+                    set_id, objs, case=CASE_ACTIVE, bucket=bucket, now_us=now_us
+                )
+            else:
+                # Verbatim relocation (Case 3.1 / FW hot sets).
+                self._write_set(
+                    set_id, [], case=CASE_RELOCATE, bucket=None, now_us=now_us
+                )
+
+    def _drop_set(self, set_id: int) -> None:
+        mirror = self.sets[set_id]
+        for key, size in list(mirror.objects.items()):
+            self.on_evict(key, size)
+        mirror.objects.clear()
+        mirror.used_bytes = 0
+        old = self.location[set_id]
+        if old >= 0:
+            self._page_owner.pop(old, None)
+            self._zone_valid[self.device.geometry.page_to_zone(old)] -= 1
+        self.location[set_id] = -1
+
+    # ------------------------------------------------------------------
+    # Instrumentation helpers
+    # ------------------------------------------------------------------
+    @property
+    def passive_rmw_count(self) -> int:
+        return self.case_writes[CASE_PASSIVE]
+
+    @property
+    def active_rmw_count(self) -> int:
+        return self.case_writes[CASE_ACTIVE]
+
+    @property
+    def p_fraction(self) -> float:
+        """The paper's ``p``: fraction of RMWs from passive migration."""
+        total = self.passive_rmw_count + self.active_rmw_count
+        if total == 0:
+            return float("nan")
+        return self.passive_rmw_count / total
+
+    def l2swa(self, case: str | None = None) -> float:
+        """Measured log-to-set WA: page bytes written / new object bytes.
+
+        ``case=None`` aggregates passive + active (+ first writes).
+        """
+        if case is None:
+            cases = [CASE_FIRST, CASE_PASSIVE, CASE_ACTIVE]
+        else:
+            cases = [case]
+        writes = sum(self.case_writes[c] for c in cases)
+        new_bytes = sum(self.case_new_bytes[c] for c in cases)
+        if new_bytes == 0:
+            return float("nan")
+        return writes * self.page_size / new_bytes
+
+    def mean_new_objects(self, case: str) -> float:
+        hist = self.passive_hist if case == CASE_PASSIVE else self.active_hist
+        total_writes = sum(hist.values())
+        if total_writes == 0:
+            return float("nan")
+        return sum(k * v for k, v in hist.items()) / total_writes

@@ -1,0 +1,143 @@
+"""Set-associative flash cache (the paper's "Set" baseline, CacheLib-style).
+
+Keys hash into fixed 4 KiB sets, each one logical block of a conventional
+SSD; lookups read one page, so no per-object flash offsets are kept in
+DRAM — the memory floor of Table 1.  The price is write amplification:
+inserting one ~246 B object rewrites the whole 4 KiB set (read-modify-
+write), an ALWA of ~16×, and the scattered in-place overwrites force
+device GC, which Meta suppresses with 50 % over-provisioning in
+production (§2.3) — reproduced here by running on a
+:class:`~repro.flash.conventional.ConventionalSSD` with ``op_ratio=0.5``.
+
+DRAM cost is ~4 bits/object (the paper's figure): a small per-set bloom
+filter that lets misses skip the flash read.  The simulator models the
+filter's effect exactly (sets know their members) and reports the 4-bit
+cost analytically.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import CacheEngine, LookupResult
+from repro.errors import ConfigError, ObjectTooLargeError
+from repro.flash.conventional import ConventionalSSD
+from repro.flash.geometry import FlashGeometry
+from repro.flash.latency import LatencyModel
+from repro.hashing import bucket_of
+
+#: CacheLib's per-set negative-lookup bloom filter budget (paper: "the
+#: lowest memory cost (4 bits/obj)").
+BLOOM_BITS_PER_OBJECT = 4.0
+
+
+class _Set:
+    """In-DRAM mirror of one set's membership (key → size).
+
+    CacheLib keeps per-set bloom filters in DRAM; mirroring exact
+    membership lets the simulator implement their *effect* (skip flash
+    reads for absent keys) without materialising bit arrays.  FIFO
+    eviction order within the set follows insertion order (dicts are
+    ordered).
+    """
+
+    __slots__ = ("objects", "used_bytes")
+
+    def __init__(self) -> None:
+        self.objects: dict[int, int] = {}
+        self.used_bytes = 0
+
+
+class SetAssociativeCache(CacheEngine):
+    """CacheLib-style set-associative cache on a conventional SSD."""
+
+    name = "Set"
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        *,
+        op_ratio: float = 0.5,
+        latency: LatencyModel | None = None,
+        hash_seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.geometry = geometry
+        self.device = ConventionalSSD(
+            geometry, op_ratio=op_ratio, stats=self.stats, latency=latency
+        )
+        self.num_sets = self.device.num_lbas
+        if self.num_sets <= 0:
+            raise ConfigError("geometry leaves no usable sets")
+        self.hash_seed = hash_seed
+        self._sets: list[_Set] = [_Set() for _ in range(self.num_sets)]
+        self._object_count = 0
+
+    # ------------------------------------------------------------------
+    def _set_of(self, key: int) -> int:
+        return bucket_of(key, self.num_sets, seed=self.hash_seed)
+
+    def lookup(self, key: int, size: int, *, now_us: float = 0.0) -> LookupResult:
+        self.counters.lookups += 1
+        sid = self._set_of(key)
+        sset = self._sets[sid]
+        if key not in sset.objects:
+            # The per-set bloom filter rejects the key without flash I/O.
+            return LookupResult(hit=False)
+        _, lat = self.device.read(sid, now_us=now_us)
+        self.counters.hits += 1
+        self.stats.record_logical_read(sset.objects[key])
+        return LookupResult(hit=True, latency_us=lat, flash_reads=1, source="flash")
+
+    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> None:
+        if size > self.geometry.page_size:
+            raise ObjectTooLargeError(
+                f"object of {size} B exceeds the {self.geometry.page_size} B set"
+            )
+        sid = self._set_of(key)
+        sset = self._sets[sid]
+
+        self.record_admission(size)
+        if key in sset.objects:
+            sset.used_bytes -= sset.objects.pop(key)
+            self._object_count -= 1
+
+        # Read-modify-write: the whole set page is read (if it exists on
+        # flash) and rewritten for this one tiny object.
+        if self.device.is_mapped(sid):
+            self.device.read(sid, now_us=now_us)
+
+        # FIFO eviction inside the set until the object fits.
+        while sset.used_bytes + size > self.geometry.page_size:
+            old_key, old_size = next(iter(sset.objects.items()))
+            del sset.objects[old_key]
+            sset.used_bytes -= old_size
+            self._object_count -= 1
+            self.counters.evicted_objects += 1
+            self.counters.evicted_bytes += old_size
+
+        sset.objects[key] = size
+        sset.used_bytes += size
+        self._object_count += 1
+        self.device.write(sid, dict(sset.objects), now_us=now_us)
+
+    def delete(self, key: int) -> bool:
+        sid = self._set_of(key)
+        sset = self._sets[sid]
+        if key not in sset.objects:
+            return False
+        sset.used_bytes -= sset.objects.pop(key)
+        self._object_count -= 1
+        self.counters.deletes += 1
+        # Deletion is metadata-only; the stale flash copy dies at the
+        # next set rewrite.
+        return True
+
+    def object_count(self) -> int:
+        return self._object_count
+
+    def memory_overhead_bits_per_object(self) -> float:
+        return BLOOM_BITS_PER_OBJECT
+
+    @property
+    def write_amplification(self) -> float:
+        """Total WA = ALWA x DLWA (conventional device: GC is internal)."""
+        return self.stats.total_wa

@@ -1,0 +1,128 @@
+"""Command-line replay driver: ``python -m repro``.
+
+Runs any engine against a synthetic Twitter mix (or a real
+twitter/cache-trace CSV) on a configurable simulated device and prints
+the paper's headline metrics.  Examples::
+
+    python -m repro --engine nemo --requests 300000
+    python -m repro --engine fw --zones 24 --requests 500000
+    python -m repro --engine all --requests 200000
+    python -m repro --engine nemo --trace-csv cluster52.csv --requests 1000000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines.fairywren import FairyWrenCache
+from repro.baselines.kangaroo import KangarooCache
+from repro.baselines.log_structured import LogStructuredCache
+from repro.baselines.set_associative import SetAssociativeCache
+from repro.core.config import NemoConfig
+from repro.core.nemo import NemoCache
+from repro.flash.geometry import FlashGeometry
+from repro.harness.report import format_table
+from repro.harness.runner import replay
+from repro.workloads.mixer import merged_twitter_trace
+from repro.workloads.twitter_csv import load_twitter_csv
+
+ENGINE_NAMES = ("nemo", "log", "set", "fw", "kg")
+
+
+def build_engine(name: str, geometry: FlashGeometry, args):
+    if name == "nemo":
+        return NemoCache(
+            geometry,
+            NemoConfig(
+                flush_threshold=args.flush_threshold,
+                sgs_per_index_group=args.sgs_per_index_group,
+                cached_index_ratio=args.cached_index_ratio,
+            ),
+        )
+    if name == "log":
+        return LogStructuredCache(geometry)
+    if name == "set":
+        return SetAssociativeCache(geometry, op_ratio=0.5)
+    if name == "fw":
+        return FairyWrenCache(geometry, log_fraction=0.05, op_ratio=0.05)
+    if name == "kg":
+        return KangarooCache(geometry, log_fraction=0.05, op_ratio=0.05)
+    raise ValueError(f"unknown engine {name!r}")
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Replay a tiny-object workload against a flash cache.",
+    )
+    parser.add_argument(
+        "--engine",
+        default="nemo",
+        choices=ENGINE_NAMES + ("all",),
+        help="cache engine (or 'all' for the Figure 12a lineup)",
+    )
+    parser.add_argument("--requests", type=int, default=200_000)
+    parser.add_argument("--zones", type=int, default=16, help="device size in 1 MiB zones")
+    parser.add_argument(
+        "--wss-scale",
+        type=float,
+        default=1 / 128,
+        help="working-set scale vs the production clusters",
+    )
+    parser.add_argument(
+        "--trace-csv",
+        default=None,
+        help="replay a twitter/cache-trace CSV instead of the synthetic mix",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--flush-threshold", type=int, default=8)
+    parser.add_argument("--sgs-per-index-group", type=int, default=4)
+    parser.add_argument("--cached-index-ratio", type=float, default=0.5)
+    parser.add_argument("--progress", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    geometry = FlashGeometry(
+        page_size=4096,
+        pages_per_block=64,
+        num_blocks=args.zones * 4,
+        blocks_per_zone=4,
+    )
+    if args.trace_csv:
+        trace = load_twitter_csv(args.trace_csv, max_requests=args.requests)
+    else:
+        trace = merged_twitter_trace(
+            num_requests=args.requests, wss_scale=args.wss_scale, seed=args.seed
+        )
+    print(f"device: {geometry.describe()}")
+    print(trace.describe())
+
+    names = list(ENGINE_NAMES) if args.engine == "all" else [args.engine]
+    rows = []
+    for name in names:
+        engine = build_engine(name, geometry, args)
+        result = replay(engine, trace, progress=args.progress)
+        rows.append(
+            [
+                engine.name,
+                engine.write_amplification,
+                result.miss_ratio,
+                engine.memory_overhead_bits_per_object(),
+                engine.stats.host_write_bytes / 2**20,
+                f"{result.wall_seconds:.1f}s",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["engine", "WA", "miss", "mem b/obj", "flash MiB", "wall"], rows
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

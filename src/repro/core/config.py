@@ -1,0 +1,148 @@
+"""Nemo configuration (paper Table 3, scaled to the simulator).
+
+The paper's deployment values and their simulator-scale defaults:
+
+=============================  ==================  =====================
+Parameter (Table 3)            Paper               Here (default)
+=============================  ==================  =====================
+Set size                       4 KB                geometry.page_size
+Sets per SG                    275,712 (1 zone)    geometry.pages_per_zone
+PBFG false positive rate       0.1 %               0.1 %
+# SGs : # index groups         50 : 1              16 : 1 (configurable)
+# in-memory SGs                2                   2
+Flushing threshold (count)     4,096               4,096
+Cached PBFG ratio              50 %                50 %
+Hotness tracking start         last 30 % of cache  last 30 %
+SG cooling period              every 10 % written  every 10 %
+=============================  ==================  =====================
+
+The three fill-rate techniques of §4.2 are individually toggleable
+(``enable_buffered_sgs`` / ``enable_delayed_flush`` /
+``enable_writeback``) so the Figure 17 ablation can run every
+combination, and the flush policy supports both the count-based
+threshold the paper deploys (Table 3's footnote: "The flushing threshold
+is count-based, not probabilistic") and the probabilistic variant §4.2
+describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+class FlushPolicyKind(enum.Enum):
+    """How a blocked insert decides between flushing and evicting."""
+
+    #: Flush the front SG on the first blocked insert (no delaying).
+    NAIVE = "naive"
+    #: Flush after every ``flush_threshold`` blocked inserts (Table 3).
+    COUNT = "count"
+    #: Flush with probability ``flush_probability`` per blocked insert.
+    PROBABILISTIC = "probabilistic"
+
+
+@dataclass
+class NemoConfig:
+    """Tunable parameters of :class:`~repro.core.nemo.NemoCache`."""
+
+    # --- §4.2: preparing a "perfect" SG -------------------------------
+    #: In-memory SGs in the circle queue (technique ①; Table 3: 2).
+    num_inmem_sgs: int = 2
+    #: Technique ① switch; off = a single in-memory SG.
+    enable_buffered_sgs: bool = True
+    #: Technique ② switch; off = flush on the first blocked insert.
+    enable_delayed_flush: bool = True
+    #: Technique ③ switch; off = evicted SGs drop their hot objects.
+    enable_writeback: bool = True
+    flush_policy: FlushPolicyKind = FlushPolicyKind.COUNT
+    #: Blocked inserts absorbed (by per-set eviction) between flushes.
+    flush_threshold: int = 4096
+    #: Per-blocked-insert flush probability for PROBABILISTIC mode.
+    flush_probability: float = 1.0 / 4096.0
+
+    # --- §4.3: lightweight indexing -----------------------------------
+    #: PBFG bloom-filter false-positive rate (Table 3: 0.1 %).
+    bf_false_positive_rate: float = 0.001
+    #: Objects a set-level filter is sized for (paper: 40 → 72 B filter).
+    bf_capacity_per_set: int = 40
+    #: SGs covered by one index group (Table 3: 50; smaller pools use
+    #: fewer so several groups exist and index-cache dynamics show).
+    sgs_per_index_group: int = 16
+    #: Fraction of index pages kept in the in-memory index cache.
+    cached_index_ratio: float = 0.5
+    #: Maintain real per-set bloom filters (exact false positives) vs
+    #: the calibrated statistical model (fast, for long replays).
+    use_real_filters: bool = False
+
+    # --- §4.4: hybrid hotness tracking --------------------------------
+    #: Track hotness only for objects in this oldest fraction of the
+    #: SG pool (Table 3: last 30 % of cache).
+    hotness_window_fraction: float = 0.3
+    #: Cooling runs after this fraction of the cache capacity has been
+    #: written (Table 3: every 10 %).
+    cooling_interval_fraction: float = 0.1
+
+    # --- §6 device compatibility ----------------------------------------
+    #: Zones composing one SG.  1 matches large-zone devices (ZN540:
+    #: SG = zone).  Small-zone devices (e.g. Samsung PM1731a, 96 MB
+    #: zones) compose an SG from several zones ("on small-zone ZNS SSDs
+    #: an SG is composed of multiple zones", §6); FDP reclaim units
+    #: group several SGs, which is the same mapping from the device's
+    #: point of view.
+    zones_per_sg: int = 1
+
+    # --- misc ----------------------------------------------------------
+    hash_seed: int = 7
+    #: RNG seed for the statistical false-positive model and the
+    #: probabilistic flush policy.
+    rng_seed: int = 1234
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.num_inmem_sgs < 1:
+            raise ConfigError("num_inmem_sgs must be >= 1")
+        if self.flush_threshold < 1:
+            raise ConfigError("flush_threshold must be >= 1")
+        if not 0.0 < self.flush_probability <= 1.0:
+            raise ConfigError("flush_probability must be in (0, 1]")
+        if not 0.0 < self.bf_false_positive_rate < 1.0:
+            raise ConfigError("bf_false_positive_rate must be in (0, 1)")
+        if self.bf_capacity_per_set < 1:
+            raise ConfigError("bf_capacity_per_set must be >= 1")
+        if self.sgs_per_index_group < 1:
+            raise ConfigError("sgs_per_index_group must be >= 1")
+        if not 0.0 <= self.cached_index_ratio <= 1.0:
+            raise ConfigError("cached_index_ratio must be in [0, 1]")
+        if not 0.0 <= self.hotness_window_fraction <= 1.0:
+            raise ConfigError("hotness_window_fraction must be in [0, 1]")
+        if not 0.0 < self.cooling_interval_fraction <= 1.0:
+            raise ConfigError("cooling_interval_fraction must be in (0, 1]")
+        if self.zones_per_sg < 1:
+            raise ConfigError("zones_per_sg must be >= 1")
+
+    @property
+    def effective_inmem_sgs(self) -> int:
+        """Queue depth after the technique-① switch."""
+        return self.num_inmem_sgs if self.enable_buffered_sgs else 1
+
+    @classmethod
+    def ablation(
+        cls,
+        *,
+        buffered: bool,
+        delayed: bool,
+        writeback: bool,
+        **overrides,
+    ) -> "NemoConfig":
+        """Config for one cell of the Figure 17 ablation grid."""
+        return cls(
+            enable_buffered_sgs=buffered,
+            enable_delayed_flush=delayed,
+            enable_writeback=writeback,
+            **overrides,
+        )

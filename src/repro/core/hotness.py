@@ -1,0 +1,98 @@
+"""Hybrid hotness tracking (§4.4, Figure 11).
+
+Nemo infers object hotness from two cheap signals:
+
+- a **1-bit access counter** per object, kept only for objects in the
+  *last* (oldest) ``window_fraction`` of the SG pool — objects far from
+  eviction don't need a verdict yet, which cuts the bitmap to 0.3
+  bits/object at the paper's 30 % window (Table 6's "Evict" row);
+- the **index cache's recency**: an offset whose set-level PBFG page is
+  currently cached has recently-active sets.
+
+An object is "hot" — and survives eviction via writeback — only when
+*both* hold: its bit is set and its offset's PBFG is cached.
+
+Periodic **cooling** (every ``cooling_interval_fraction`` of the cache
+capacity written) clears the bits of objects whose PBFG is no longer
+cached, so "only recency-backed hotness is sustained" and an initial
+burst (now cooled) cannot masquerade as long-term popularity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+
+
+class HotnessTracker:
+    """1-bit access counters gated by PBFG cache recency.
+
+    Parameters
+    ----------
+    window_fraction:
+        Oldest fraction of the SG pool whose objects are tracked.
+    page_idx_cached:
+        ``page_idx -> bool`` — is any PBFG page covering this group-page
+        index currently cached?  (Provided by the index cache.)
+    page_of_offset:
+        ``offset -> page_idx`` from the index layout.
+    """
+
+    def __init__(
+        self,
+        window_fraction: float,
+        *,
+        page_idx_cached: Callable[[int], bool],
+        page_of_offset: Callable[[int], int],
+    ) -> None:
+        if not 0.0 <= window_fraction <= 1.0:
+            raise ConfigError("window_fraction must be in [0, 1]")
+        self.window_fraction = window_fraction
+        self._page_idx_cached = page_idx_cached
+        self._page_of_offset = page_of_offset
+        #: key -> intra-SG offset (the "set bit"); storing the offset
+        #: makes cooling a pure bitmap sweep without re-hashing.
+        self._bits: dict[int, int] = {}
+        self.coolings = 0
+        self.bits_cleared = 0
+
+    # ------------------------------------------------------------------
+    def record_access(self, key: int, offset: int, *, in_window: bool) -> None:
+        """Mark ``key`` accessed; only tracked inside the window."""
+        if in_window:
+            self._bits[key] = offset
+
+    def is_hot(self, key: int) -> bool:
+        """Hybrid verdict: bit set *and* the offset's PBFG is cached."""
+        offset = self._bits.get(key)
+        if offset is None:
+            return False
+        return self._page_idx_cached(self._page_of_offset(offset))
+
+    def discard(self, key: int) -> None:
+        self._bits.pop(key, None)
+
+    def cool(self) -> int:
+        """One cooling pass: clear bits without a cached PBFG (Fig. 11).
+
+        Returns the number of bits cleared.
+        """
+        self.coolings += 1
+        survivors = {
+            key: offset
+            for key, offset in self._bits.items()
+            if self._page_idx_cached(self._page_of_offset(offset))
+        }
+        cleared = len(self._bits) - len(survivors)
+        self._bits = survivors
+        self.bits_cleared += cleared
+        return cleared
+
+    # ------------------------------------------------------------------
+    def tracked_count(self) -> int:
+        return len(self._bits)
+
+    def bits_per_object(self) -> float:
+        """Amortised DRAM cost: 1 bit over the tracked window only."""
+        return self.window_fraction

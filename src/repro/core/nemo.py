@@ -1,0 +1,545 @@
+"""The Nemo cache engine (§4): insert / lookup / eviction over ZNS.
+
+Data path summary (Figure 7):
+
+- **Insert** ①: hash the key to an intra-SG offset; place the object in
+  the front-most in-memory SG with room at that offset.  When every
+  queued SG's target set is full, the flush policy (§4.2 ②) either
+  defers (evicting from the front SG's set) or flushes the front SG to
+  an empty zone as one batched sequential write.
+- **Lookup** ②: check the in-memory SGs; otherwise query the set-level
+  PBFGs — one index page per live index group, served from the FIFO
+  index cache or read from the on-flash index pool — and read all
+  candidate SGs' sets in parallel.
+- **Eviction** ③: when the SG pool is full, the oldest on-flash SG is
+  evicted; hotness-aware writeback (§4.2 ③) re-inserts its hot objects
+  into the SG about to be flushed, raising that SG's fill and keeping
+  hot objects cached.
+
+Write-amplification accounting follows §5.2 exactly: written-back
+objects are **not** logical writes; the WA denominator is the bytes of
+objects newly written by the first two techniques, *including* objects
+evicted early by the delayed-flush technique.
+
+Index modelling: with ``use_real_filters=True`` every set has a real
+:class:`~repro.core.bloom.BloomFilter` and false positives happen for
+real; the default statistical mode resolves membership exactly and draws
+false positives from the configured rate — page-level index traffic
+(the part Figures 19a/19b measure) is identical in both modes.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.baselines.base import CacheEngine, LookupResult
+from repro.core.bloom import BloomFilter, bloom_bits_per_object
+from repro.core.config import NemoConfig
+from repro.core.flusher import FlushDecision, FlushPolicy
+from repro.core.hotness import HotnessTracker
+from repro.core.index_cache import IndexCache, IndexPool
+from repro.core.pbfg import IndexGroupBuilder, IndexLayout
+from repro.core.sgqueue import SetGroupQueue
+from repro.errors import ConfigError, EngineStateError, ObjectTooLargeError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.latency import LatencyModel
+from repro.flash.zns import ZNSDevice
+from repro.hashing import hash64
+
+
+@dataclass
+class FlashSG:
+    """An immutable on-flash Set-Group in the FIFO pool.
+
+    An SG occupies one or more whole zones (§6: large-zone devices map
+    one SG per zone; small-zone devices compose an SG from several).
+    ``page_bases[i]`` is the first physical page of member zone ``i``.
+    """
+
+    sg_id: int
+    zone_ids: list[int]
+    page_bases: list[int]
+    pages_per_zone: int
+    #: Per-set membership mirrors (what the flash pages hold).
+    sets: list[dict[int, int]]
+    fill_rate: float
+    new_fill_rate: float
+    filters: list[BloomFilter] | None = field(default=None, repr=False)
+
+    def page_of(self, offset: int) -> int:
+        """Physical page holding set ``offset``."""
+        zone_idx, page_idx = divmod(offset, self.pages_per_zone)
+        return self.page_bases[zone_idx] + page_idx
+
+
+class NemoCache(CacheEngine):
+    """Nemo: low-write-amplification flash cache for tiny objects."""
+
+    name = "Nemo"
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        config: NemoConfig | None = None,
+        *,
+        latency: LatencyModel | None = None,
+    ) -> None:
+        super().__init__()
+        self.geometry = geometry
+        self.config = config if config is not None else NemoConfig()
+        self.device = ZNSDevice(geometry, stats=self.stats, latency=latency)
+        self._rng = random.Random(self.config.rng_seed)
+
+        ppz = geometry.pages_per_zone
+        self.set_size = geometry.page_size
+        # One SG per erase unit (§4.1); on small-zone devices an erase
+        # unit is composed of several zones (§6).
+        self.zones_per_sg = self.config.zones_per_sg
+        self.sets_per_sg = ppz * self.zones_per_sg
+
+        self.layout = IndexLayout(
+            page_size=geometry.page_size,
+            sets_per_sg=self.sets_per_sg,
+            sgs_per_group=self.config.sgs_per_index_group,
+            bf_capacity=self.config.bf_capacity_per_set,
+            bf_false_positive_rate=self.config.bf_false_positive_rate,
+        )
+
+        sg_zone_count, index_zone_count = self._split_zones()
+        # Whole SGs only: leftover zones (< zones_per_sg) stay unused.
+        sg_zone_count -= sg_zone_count % self.zones_per_sg
+        self.sg_zone_count = sg_zone_count
+        self._free_sg_zones: deque[int] = deque(range(sg_zone_count))
+        self.pool_capacity_sgs = sg_zone_count // self.zones_per_sg
+        if self.pool_capacity_sgs < 2:
+            raise ConfigError(
+                "device too small: fewer than two SGs fit the pool "
+                f"({sg_zone_count} SG zones / {self.zones_per_sg} per SG)"
+            )
+
+        self.queue = SetGroupQueue(
+            self.config.effective_inmem_sgs, self.sets_per_sg, self.set_size
+        )
+        self.flush_policy = FlushPolicy(self.config)
+
+        self.index_builder = IndexGroupBuilder(
+            self.layout, real_filters=self.config.use_real_filters
+        )
+        self.index_pool = IndexPool(
+            self.device,
+            list(range(sg_zone_count, sg_zone_count + index_zone_count)),
+            self.layout,
+        )
+        steady_groups = -(-self.pool_capacity_sgs // self.layout.sgs_per_group)
+        cache_pages = int(
+            round(
+                self.config.cached_index_ratio
+                * steady_groups
+                * self.layout.pages_per_group
+            )
+        )
+        self.index_cache = IndexCache(cache_pages)
+        self.index_pool.on_group_dead = self.index_cache.drop_group
+
+        self.hotness = HotnessTracker(
+            self.config.hotness_window_fraction,
+            page_idx_cached=self.index_cache.page_idx_cached,
+            page_of_offset=self.layout.page_of_offset,
+        )
+
+        # On-flash SG pool (FIFO, oldest first) and exact lookup maps.
+        self.pool: deque[FlashSG] = deque()
+        self._pool_map: dict[int, FlashSG] = {}
+        self._flash_index: dict[int, int] = {}  # key -> newest holder sg_id
+        self._flash_copies: dict[int, int] = {}  # key -> live flash copies
+
+        # Telemetry.
+        self.fill_rates: list[float] = []
+        self.new_fill_rates: list[float] = []
+        self.early_evicted_objects = 0
+        self.early_evicted_bytes = 0
+        self.writeback_objects = 0
+        self.writeback_bytes = 0
+        self.writeback_reads = 0
+        self.false_positive_reads = 0
+        self.pbfg_touches = 0
+        self.pbfg_pool_reads = 0
+        #: Requests that consulted PBFGs at all / that needed >=1 page
+        #: from the on-flash index pool (Fig. 19b's per-request ratio).
+        self.pbfg_lookups = 0
+        self.pbfg_lookups_from_pool = 0
+        self._bytes_at_last_cooling = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _split_zones(self) -> tuple[int, int]:
+        """Partition zones between the SG pool and the index pool.
+
+        Iterates to a fixed point: the index pool must hold one group
+        per ``sgs_per_group`` pool SGs (plus one in flight), whole
+        groups per zone.
+        """
+        total = self.geometry.num_zones
+        ppz = self.geometry.pages_per_zone
+        if self.layout.pages_per_group > ppz:
+            raise ConfigError(
+                "an index group must fit one zone: lower sgs_per_index_group"
+                f" ({self.layout.pages_per_group} pages > {ppz}/zone)"
+            )
+        groups_per_zone = max(1, ppz // self.layout.pages_per_group)
+        index_zones = 1
+        for _ in range(12):
+            sg_zones = total - index_zones
+            pool_sgs = sg_zones // self.zones_per_sg
+            if pool_sgs < 2:
+                raise ConfigError(
+                    f"device too small: {total} zones cannot host an SG "
+                    "pool plus the index pool"
+                )
+            need_groups = -(-pool_sgs // self.layout.sgs_per_group) + 1
+            need_zones = -(-need_groups // groups_per_zone) + 1
+            if need_zones <= index_zones:
+                return sg_zones, index_zones
+            index_zones = need_zones
+        raise ConfigError("zone split did not converge; check the geometry")
+
+    def _offset(self, key: int) -> int:
+        return hash64(key, self.config.hash_seed) % self.sets_per_sg
+
+    # ------------------------------------------------------------------
+    # CacheEngine API
+    # ------------------------------------------------------------------
+    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> None:
+        if size > self.set_size:
+            raise ObjectTooLargeError(
+                f"object of {size} B exceeds the {self.set_size} B set"
+            )
+        self.record_admission(size)
+        offset = self._offset(key)
+        if self.queue.try_insert(offset, key, size):
+            return
+        # Blocked: the target set is full in every in-memory SG.
+        decision = self.flush_policy.decide()
+        if decision is FlushDecision.MAKE_ROOM:
+            evicted = self.queue.front.evict_from_set(offset, size)
+            for _k, s in evicted:
+                self.early_evicted_objects += 1
+                self.early_evicted_bytes += s
+                self.counters.evicted_objects += 1
+                self.counters.evicted_bytes += s
+            if not self.queue.front.try_insert(offset, key, size):
+                raise EngineStateError("insert failed after making room")
+            return
+        self._flush_front(now_us=now_us)
+        if not self.queue.try_insert(offset, key, size):
+            raise EngineStateError("insert failed after flushing the front SG")
+
+    def lookup(self, key: int, size: int, *, now_us: float = 0.0) -> LookupResult:
+        self.counters.lookups += 1
+        offset = self._offset(key)
+
+        mem_size = self.queue.find(offset, key)
+        if mem_size is not None:
+            self.counters.hits += 1
+            self.stats.record_logical_read(mem_size)
+            return LookupResult(hit=True, source="memory")
+
+        if not self.pool:
+            return LookupResult(hit=False)
+
+        flash_reads = 0
+        latency = 0.0
+
+        # --- PBFG consultation: one index page per live group ---------
+        self.pbfg_lookups += 1
+        miss_pages: list[int] = []
+        for page_key, physical in self.index_pool.pages_for_offset(offset):
+            self.pbfg_touches += 1
+            if not self.index_cache.access(page_key):
+                self.pbfg_pool_reads += 1
+                miss_pages.append(physical)
+        if miss_pages:
+            self.pbfg_lookups_from_pool += 1
+            _, lat = self.device.read_many(miss_pages, now_us=now_us)
+            flash_reads += len(miss_pages)
+            latency = max(latency, lat)
+
+        # --- Candidate SG identification -------------------------------
+        candidate_pages, holder = self._candidates(key, offset)
+        if candidate_pages:
+            _, lat = self.device.read_many(candidate_pages, now_us=now_us)
+            flash_reads += len(candidate_pages)
+            latency = max(latency, lat)
+
+        if holder is None:
+            return LookupResult(
+                hit=False, latency_us=latency, flash_reads=flash_reads
+            )
+
+        obj_size = holder.sets[offset][key]
+        self.counters.hits += 1
+        self.stats.record_logical_read(obj_size)
+        self.hotness.record_access(
+            key, offset, in_window=self._in_window(holder.sg_id)
+        )
+        return LookupResult(
+            hit=True, latency_us=latency, flash_reads=flash_reads, source="flash"
+        )
+
+    def delete(self, key: int) -> bool:
+        offset = self._offset(key)
+        removed = self.queue.remove(offset, key)
+        if self._flash_copies.pop(key, 0):
+            self._flash_index.pop(key, None)
+            for fsg in self.pool:
+                fsg.sets[offset].pop(key, None)
+            removed = True
+        if removed:
+            self.hotness.discard(key)
+            self.counters.deletes += 1
+        return removed
+
+    def object_count(self) -> int:
+        return self.queue.object_count() + sum(
+            len(s) for fsg in self.pool for s in fsg.sets
+        )
+
+    def memory_overhead_breakdown(self) -> dict[str, float]:
+        """Table 6 accounting for Nemo, per component (bits/object).
+
+        ``index``: cached share of the set-level filters; ``evict``: the
+        windowed 1-bit counters; ``buffer``: the in-memory index-group
+        buffer amortised over the object population.  The buffer term is
+        fixed-size (one index group), so it is ~0.8 b at the paper's
+        2 TB scale but dominates on MiB-scale simulated devices — report
+        it separately when comparing against the paper's 8.3 b.
+        """
+        bf_bits = bloom_bits_per_object(self.config.bf_false_positive_rate)
+        mean_obj = (
+            self.counters.insert_bytes / self.counters.inserts
+            if self.counters.inserts
+            else 246.0
+        )
+        capacity_objects = (
+            self.pool_capacity_sgs * self.sets_per_sg * self.set_size / mean_obj
+        )
+        buffer_bytes = self.layout.pages_per_group * self.geometry.page_size
+        return {
+            "index": bf_bits * self.config.cached_index_ratio,
+            "evict": self.hotness.bits_per_object(),
+            "buffer": buffer_bytes * 8.0 / capacity_objects,
+        }
+
+    def memory_overhead_bits_per_object(self) -> float:
+        """Total Table 6 accounting (paper: 8.3 bits/obj at 2 TB scale)."""
+        return sum(self.memory_overhead_breakdown().values())
+
+    # ------------------------------------------------------------------
+    # Candidate identification
+    # ------------------------------------------------------------------
+    def _candidates(
+        self, key: int, offset: int
+    ) -> tuple[list[int], FlashSG | None]:
+        """Pages to read and the newest true holder (or None).
+
+        The PBFG query yields candidate SGs; the pool's FIFO order is
+        known, so the engine scans candidates **newest-first and stops
+        at the first verified hit** — stale copies left behind by
+        updates sit in *older* SGs and are never read.  A hit therefore
+        pays for false positives among SGs newer than the holder plus
+        the holder itself; a miss pays only for false positives.
+        """
+        holder_id = self._flash_index.get(key)
+        pages: list[int] = []
+        holder: FlashSG | None = None
+
+        if self.config.use_real_filters:
+            hits: list[FlashSG] = []
+            for fsg in self.pool:
+                if fsg.filters is None:
+                    raise EngineStateError("real-filter mode lost its filters")
+                if key in fsg.filters[offset]:
+                    hits.append(fsg)
+            for fsg in reversed(hits):  # newest first, stop on a hit
+                pages.append(fsg.page_of(offset))
+                if key in fsg.sets[offset]:
+                    break
+                self.false_positive_reads += 1
+            if holder_id is not None:
+                holder = self._pool_map[holder_id]
+            return pages, holder
+
+        if holder_id is not None:
+            holder = self._pool_map[holder_id]
+            # Only false positives in SGs *newer* than the holder are
+            # read before the scan stops at the holder.
+            n_scanned = len(self.pool) - 1 - (holder.sg_id - self.pool[0].sg_id)
+        else:
+            n_scanned = len(self.pool)
+        if n_scanned > 0:
+            # P(at least one FP among the scanned SGs) ≈ n · fp for the
+            # small rates used here; simultaneous FPs are negligible.
+            if self._rng.random() < n_scanned * self.config.bf_false_positive_rate:
+                pages.append(self._random_pool_page(offset))
+                self.false_positive_reads += 1
+        if holder is not None:
+            pages.append(holder.page_of(offset))
+        return pages, holder
+
+    def _random_pool_page(self, offset: int) -> int:
+        fsg = self.pool[self._rng.randrange(len(self.pool))]
+        return fsg.page_of(offset)
+
+    def _in_window(self, sg_id: int) -> bool:
+        """Is this SG in the oldest ``hotness_window_fraction`` of the pool?"""
+        if not self.pool:
+            return False
+        position = sg_id - self.pool[0].sg_id
+        return position < self.config.hotness_window_fraction * self.pool_capacity_sgs
+
+    # ------------------------------------------------------------------
+    # Flush + eviction
+    # ------------------------------------------------------------------
+    def _flush_front(self, *, now_us: float = 0.0) -> None:
+        if len(self._free_sg_zones) < self.zones_per_sg:
+            self._evict_oldest_sg(now_us=now_us)
+        front = self.queue.pop_front_for_flush()
+        zone_ids = [self._free_sg_zones.popleft() for _ in range(self.zones_per_sg)]
+
+        payloads = front.page_payloads()
+        ppz = self.geometry.pages_per_zone
+        page_bases = []
+        for i, zone_id in enumerate(zone_ids):
+            chunk = payloads[i * ppz : (i + 1) * ppz]
+            pages, _ = self.device.append_many(zone_id, chunk, now_us=now_us)
+            page_bases.append(pages[0])
+        filters = self.index_builder.build_filters(payloads)
+        fsg = FlashSG(
+            sg_id=front.sg_id,
+            zone_ids=zone_ids,
+            page_bases=page_bases,
+            pages_per_zone=ppz,
+            sets=payloads,
+            fill_rate=front.fill_rate(),
+            new_fill_rate=front.new_fill_rate(),
+            filters=filters,
+        )
+        self.pool.append(fsg)
+        self._pool_map[fsg.sg_id] = fsg
+        self.fill_rates.append(fsg.fill_rate)
+        self.new_fill_rates.append(fsg.new_fill_rate)
+
+        for offset, objs in enumerate(payloads):
+            for key in objs:
+                self._flash_copies[key] = self._flash_copies.get(key, 0) + 1
+                self._flash_index[key] = fsg.sg_id
+
+        self.index_builder.add_sg(fsg.sg_id, filters)
+        if self.index_builder.is_full:
+            members, group_pages = self.index_builder.take_group()
+            self.index_pool.write_group(members, group_pages, now_us=now_us)
+
+        self._maybe_cool()
+
+    def _evict_oldest_sg(self, *, now_us: float = 0.0) -> None:
+        if not self.pool:
+            raise EngineStateError("nothing to evict: the SG pool is empty")
+        victim = self.pool.popleft()
+        del self._pool_map[victim.sg_id]
+
+        if self.config.enable_writeback:
+            self._writeback(victim, now_us=now_us)
+
+        for offset, objs in enumerate(victim.sets):
+            for key, size in objs.items():
+                remaining = self._flash_copies.get(key, 0) - 1
+                if remaining > 0:
+                    self._flash_copies[key] = remaining
+                else:
+                    self._flash_copies.pop(key, None)
+                if self._flash_index.get(key) == victim.sg_id:
+                    del self._flash_index[key]
+                    if self.queue.find(offset, key) is None:
+                        self.counters.evicted_objects += 1
+                        self.counters.evicted_bytes += size
+                self.hotness.discard(key)
+
+        for zone_id in victim.zone_ids:
+            self.device.reset_zone(zone_id, now_us=now_us)
+            self._free_sg_zones.append(zone_id)
+        self.index_pool.on_sg_evicted(victim.sg_id)
+
+    def _writeback(self, victim: FlashSG, *, now_us: float = 0.0) -> None:
+        """Hotness-aware writeback (§4.2 ③) into the front in-memory SG."""
+        front = self.queue.front
+        for offset, objs in enumerate(victim.sets):
+            hot_items = [
+                (key, size)
+                for key, size in objs.items()
+                if self._flash_index.get(key) == victim.sg_id
+                and self.queue.find(offset, key) is None
+                and self.hotness.is_hot(key)
+            ]
+            if not hot_items:
+                continue
+            self.device.read(victim.page_of(offset), now_us=now_us, background=True)
+            self.writeback_reads += 1
+            for key, size in hot_items:
+                if front.try_insert(offset, key, size, writeback=True):
+                    self.writeback_objects += 1
+                    self.writeback_bytes += size
+
+    def _maybe_cool(self) -> None:
+        capacity = self.pool_capacity_sgs * self.sets_per_sg * self.set_size
+        interval = self.config.cooling_interval_fraction * capacity
+        if self.stats.host_write_bytes - self._bytes_at_last_cooling >= interval:
+            self._bytes_at_last_cooling = self.stats.host_write_bytes
+            self.hotness.cool()
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def mean_fill_rate(self) -> float:
+        """Mean flushed-SG fill (Fig. 17's headline number)."""
+        if not self.fill_rates:
+            return float("nan")
+        return sum(self.fill_rates) / len(self.fill_rates)
+
+    def mean_new_fill_rate(self) -> float:
+        """Mean WA-relevant fill; Nemo's WA ≈ its reciprocal (Eq. 9)."""
+        if not self.new_fill_rates:
+            return float("nan")
+        return sum(self.new_fill_rates) / len(self.new_fill_rates)
+
+    def pbfg_pool_read_ratio(self) -> float:
+        """Fraction of PBFG page touches served from flash."""
+        if self.pbfg_touches == 0:
+            return float("nan")
+        return self.pbfg_pool_reads / self.pbfg_touches
+
+    def pbfg_request_pool_ratio(self) -> float:
+        """Fraction of index-consulting requests that needed the on-flash
+        index pool (the paper's Fig. 19b metric: "<8 % of requests
+        access PBFGs from flash" at a 50 % cached ratio)."""
+        if self.pbfg_lookups == 0:
+            return float("nan")
+        return self.pbfg_lookups_from_pool / self.pbfg_lookups
+
+    def metrics_snapshot(self) -> dict[str, float]:
+        snap = super().metrics_snapshot()
+        snap.update(
+            {
+                "mean_fill_rate": self.mean_fill_rate(),
+                "mean_new_fill_rate": self.mean_new_fill_rate(),
+                "pool_sgs": len(self.pool),
+                "writeback_objects": self.writeback_objects,
+                "early_evicted_objects": self.early_evicted_objects,
+                "pbfg_pool_read_ratio": self.pbfg_pool_read_ratio(),
+                "false_positive_reads": self.false_positive_reads,
+                "index_cache_pages": len(self.index_cache),
+            }
+        )
+        return snap

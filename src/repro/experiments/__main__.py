@@ -1,0 +1,55 @@
+"""CLI: run paper experiments.
+
+Usage::
+
+    python -m repro.experiments                 # list experiments
+    python -m repro.experiments fig12 table6    # run selected (small)
+    python -m repro.experiments --scale full all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (or 'all'); empty lists what exists",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["small", "full"],
+        default="small",
+        help="small = seconds per experiment; full = EXPERIMENTS.md scale",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.experiments:
+        print("Available experiments:")
+        for exp_id in EXPERIMENTS:
+            print(f"  {exp_id:10s} {get_experiment(exp_id).description}")
+        return 0
+
+    targets = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    for exp_id in targets:
+        exp = get_experiment(exp_id)
+        print(f"=== {exp_id}: {exp.description} (scale={args.scale}) ===")
+        t0 = time.perf_counter()
+        result = exp.run(scale=args.scale)
+        print(result.format())
+        print(f"[{exp_id} took {time.perf_counter() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

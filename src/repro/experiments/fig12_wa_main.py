@@ -1,0 +1,116 @@
+"""Figure 12 — steady-state write amplification of the five systems.
+
+(a) Log / Set / FW / KG / Nemo under their Table 4 configurations, plus
+memory overhead (bits/obj) and read amplification (§5.5).
+(b) FW variants — Log20-OP5 and Log5-OP50 — versus Nemo: even with 4 ×
+the log or half the flash given away, FW stays well above Nemo.
+
+Paper reference points: Log 1.08, Set 16.31, FW 15.2, KG 55.59,
+Nemo 1.56; FW Log20-OP5 → 4.12, FW Log5-OP50 → 6.56; Nemo's read
+amplification is >3 × FW's but parallelisable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.fairywren import FairyWrenCache
+from repro.baselines.kangaroo import KangarooCache
+from repro.baselines.log_structured import LogStructuredCache
+from repro.baselines.set_associative import SetAssociativeCache
+from repro.core.nemo import NemoCache
+from repro.experiments.common import nemo_config, scale_params, twitter_trace
+from repro.harness.report import format_table
+from repro.harness.runner import replay
+
+PAPER_WA = {"Log": 1.08, "Set": 16.31, "FW": 15.2, "KG": 55.59, "Nemo": 1.56}
+PAPER_WA_VARIANTS = {"FW Log20-OP5": 4.12, "FW Log5-OP50": 6.56}
+
+
+@dataclass
+class Fig12Result:
+    main_rows: list[dict] = field(default_factory=list)
+    variant_rows: list[dict] = field(default_factory=list)
+
+    def format(self) -> str:
+        a = format_table(
+            ["engine", "WA", "paper WA", "miss", "mem bits/obj", "read amp"],
+            [
+                [
+                    r["engine"],
+                    r["wa"],
+                    r["paper_wa"],
+                    r["miss"],
+                    r["mem_bits"],
+                    r["read_amp"],
+                ]
+                for r in self.main_rows
+            ],
+        )
+        b = format_table(
+            ["config", "WA", "paper WA"],
+            [[r["config"], r["wa"], r["paper_wa"]] for r in self.variant_rows],
+        )
+        return (
+            "Figure 12a: steady-state write amplification\n"
+            + a
+            + "\n\nFigure 12b: FW variants vs Nemo\n"
+            + b
+        )
+
+
+def build_engines(geometry):
+    """The five Table 4 engines at their paper configurations."""
+    return [
+        LogStructuredCache(geometry),
+        SetAssociativeCache(geometry, op_ratio=0.5),
+        FairyWrenCache(geometry, log_fraction=0.05, op_ratio=0.05),
+        KangarooCache(geometry, log_fraction=0.05, op_ratio=0.05),
+        NemoCache(geometry, nemo_config()),
+    ]
+
+
+def run(scale: str = "small") -> Fig12Result:
+    geometry, num_requests = scale_params(scale)
+    trace = twitter_trace(num_requests)
+    result = Fig12Result()
+
+    for engine in build_engines(geometry):
+        r = replay(engine, trace)
+        result.main_rows.append(
+            {
+                "engine": engine.name,
+                "wa": engine.write_amplification,
+                "paper_wa": PAPER_WA[engine.name],
+                "miss": r.miss_ratio,
+                "mem_bits": engine.memory_overhead_bits_per_object(),
+                "read_amp": engine.stats.read_amplification,
+            }
+        )
+
+    for label, kwargs in [
+        ("FW Log20-OP5", {"log_fraction": 0.20, "op_ratio": 0.05}),
+        ("FW Log5-OP50", {"log_fraction": 0.05, "op_ratio": 0.50}),
+    ]:
+        engine = FairyWrenCache(geometry, **kwargs)
+        replay(engine, trace)
+        result.variant_rows.append(
+            {
+                "config": label,
+                "wa": engine.write_amplification,
+                "paper_wa": PAPER_WA_VARIANTS[label],
+            }
+        )
+    nemo_row = next(r for r in result.main_rows if r["engine"] == "Nemo")
+    result.variant_rows.append(
+        {"config": "Nemo", "wa": nemo_row["wa"], "paper_wa": PAPER_WA["Nemo"]}
+    )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(scale="full").format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,82 @@
+"""Figure 14 — WA evolution over the trace (§5.2).
+
+Tracks cumulative write amplification as a function of executed
+operations for Nemo and three FairyWREN configurations.
+
+Paper reference shapes:
+
+- Nemo stays flat (≈1.56 in the paper);
+- FW starts ≈1.1 while only HLog absorbs writes, then ramps sharply at
+  the first knee (HLog exhausted → passive migration) and again at a
+  second knee (flash full → active migration);
+- Log20-OP5's first knee comes later (a 4× log drains slower);
+- Log5-OP50 ramps more gently after the first knee (narrower hash
+  range) and has **no second knee** (active migration rarely occurs at
+  50 % OP), though its GC starts earlier (half the capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.fairywren import FairyWrenCache
+from repro.core.nemo import NemoCache
+from repro.experiments.common import nemo_config, scale_params, twitter_trace
+from repro.harness.report import format_table
+from repro.harness.runner import replay
+
+
+@dataclass
+class Fig14Result:
+    wa_series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    final_wa: dict[str, float] = field(default_factory=dict)
+    first_knee_ops: dict[str, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        rows = []
+        for name, series in self.wa_series.items():
+            rows.append(
+                [
+                    name,
+                    self.final_wa[name],
+                    self.first_knee_ops.get(name, float("nan")),
+                ]
+            )
+        table = format_table(["config", "final WA", "first knee (ops)"], rows)
+        return "Figure 14: WA vs trace operations\n" + table
+
+
+def _first_knee(series: list[tuple[float, float]], threshold: float = 2.0) -> float:
+    """First op count where WA exceeds ``threshold`` (the migration knee)."""
+    for ops, wa in series:
+        if wa == wa and wa > threshold:
+            return ops
+    return float("nan")
+
+
+def run(scale: str = "small") -> Fig14Result:
+    geometry, num_requests = scale_params(scale)
+    trace = twitter_trace(num_requests)
+    result = Fig14Result()
+
+    systems = [
+        ("Nemo", NemoCache(geometry, nemo_config())),
+        ("FW Log5-OP5", FairyWrenCache(geometry, log_fraction=0.05, op_ratio=0.05)),
+        ("FW Log20-OP5", FairyWrenCache(geometry, log_fraction=0.20, op_ratio=0.05)),
+        ("FW Log5-OP50", FairyWrenCache(geometry, log_fraction=0.05, op_ratio=0.50)),
+    ]
+    for name, engine in systems:
+        r = replay(engine, trace, sample_every=max(1, num_requests // 256))
+        series = r.series["wa"].as_rows()
+        result.wa_series[name] = series
+        result.final_wa[name] = engine.write_amplification
+        result.first_knee_ops[name] = _first_knee(series)
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(scale="full").format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,86 @@
+"""Figure 18 — delayed-flush threshold sensitivity (§5.4).
+
+Sweeps the count-based flush threshold p_th and reports, per setting:
+the mean SG fill, the resulting WA, the new objects absorbed per flush,
+the objects evicted per flush, and the paper's "profit" ratio
+(new objects gained / objects evicted by deferrals).
+
+Paper reference: higher thresholds admit more new objects and lower WA,
+but profit has diminishing returns — "when the p_th value increased
+from 64 to 1024, the number of new objects only doubled".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.nemo import NemoCache
+from repro.experiments.common import nemo_config, scale_params, twitter_trace
+from repro.harness.report import format_table
+from repro.harness.runner import replay
+
+THRESHOLDS = [1, 8, 64, 256, 1024, 4096]
+
+
+@dataclass
+class Fig18Result:
+    rows: list[dict] = field(default_factory=list)
+
+    def format(self) -> str:
+        table = format_table(
+            [
+                "p_th",
+                "fill",
+                "WA",
+                "new objs/flush",
+                "evicted/flush",
+                "profit (new/evicted)",
+                "miss",
+            ],
+            [
+                [
+                    r["pth"],
+                    r["fill"],
+                    r["wa"],
+                    r["new_per_flush"],
+                    r["evicted_per_flush"],
+                    r["profit"],
+                    r["miss"],
+                ]
+                for r in self.rows
+            ],
+        )
+        return "Figure 18: flush-threshold (p_th) sensitivity\n" + table
+
+
+def run(scale: str = "small") -> Fig18Result:
+    geometry, num_requests = scale_params(scale)
+    trace = twitter_trace(num_requests)
+    result = Fig18Result()
+
+    for pth in THRESHOLDS:
+        engine = NemoCache(geometry, nemo_config(flush_threshold=pth))
+        r = replay(engine, trace)
+        flushes = max(1, len(engine.fill_rates))
+        new_objs = engine.counters.inserts - engine.writeback_objects
+        evicted = engine.early_evicted_objects
+        result.rows.append(
+            {
+                "pth": pth,
+                "fill": engine.mean_fill_rate(),
+                "wa": engine.write_amplification,
+                "new_per_flush": new_objs / flushes,
+                "evicted_per_flush": evicted / flushes,
+                "profit": new_objs / evicted if evicted else float("inf"),
+                "miss": r.miss_ratio,
+            }
+        )
+    return result
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run(scale="full").format())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,99 @@
+"""Experiment registry: map figure/table ids to runnable callables.
+
+``python -m repro.experiments [exp_id ...] [--scale small|full]`` runs
+experiments and prints their formatted results; with no arguments it
+lists what exists.  ``benchmarks/`` wraps the same registry in
+pytest-benchmark targets.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable
+
+#: exp id -> (module, description).  Modules are imported lazily so that
+#: importing the registry stays cheap.
+_SPECS: dict[str, tuple[str, str]] = {
+    "fig04": (
+        "repro.experiments.fig04_passive_migration",
+        "Passive-migration CDF and measured vs modelled L2SWA(P)",
+    ),
+    "fig05": (
+        "repro.experiments.fig05_two_migrations",
+        "Passive vs active migration CDFs; L2SWA(A) ≈ 2·L2SWA(P)",
+    ),
+    "fig06": (
+        "repro.experiments.fig06_op_impact",
+        "OP-ratio impact on the passive RMW fraction p",
+    ),
+    "fig08": (
+        "repro.experiments.fig08_hash_skew",
+        "Short-term hash skew: fill of remaining sets at first-full",
+    ),
+    "fig12": (
+        "repro.experiments.fig12_wa_main",
+        "Steady-state WA of Log/Set/FW/KG/Nemo (+FW variants, 12b)",
+    ),
+    "fig13": (
+        "repro.experiments.fig13_writes_per_minute",
+        "Flash writes per minute at steady state (Nemo/FW/KG)",
+    ),
+    "fig14": (
+        "repro.experiments.fig14_wa_trend",
+        "WA vs trace operations (Nemo vs FW configurations)",
+    ),
+    "fig15": (
+        "repro.experiments.fig15_read_latency",
+        "Read latency p50/p99/p9999 before/after flash is full",
+    ),
+    "fig16": (
+        "repro.experiments.fig16_miss_ratio",
+        "Miss-ratio trend (Nemo vs FW)",
+    ),
+    "fig17": (
+        "repro.experiments.fig17_sg_breakdown",
+        "'Perfect' SG fill-rate breakdown (naive/B/P/B+P/B+P+W)",
+    ),
+    "fig18": (
+        "repro.experiments.fig18_pth_sensitivity",
+        "Flush-threshold sweep: fill-rate gain, WA, profit",
+    ),
+    "fig19": (
+        "repro.experiments.fig19_pbfg",
+        "Set-access skew (19a) and PBFG index-pool misses (19b)",
+    ),
+    "table6": (
+        "repro.experiments.table6_memory",
+        "Metadata memory overhead (bits per object)",
+    ),
+    "appendixA": (
+        "repro.experiments.appendix_pbfg_tradeoff",
+        "PBFG accuracy vs read-amplification trade-off",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Experiment:
+    exp_id: str
+    description: str
+    run: Callable
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        module_name, description = _SPECS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; known: {sorted(_SPECS)}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return Experiment(exp_id=exp_id, description=description, run=module.run)
+
+
+def run_experiment(exp_id: str, *, scale: str = "small"):
+    return get_experiment(exp_id).run(scale=scale)
+
+
+EXPERIMENTS: tuple[str, ...] = tuple(_SPECS)

@@ -1,0 +1,267 @@
+"""Page-mapping flash translation layer with greedy garbage collection.
+
+Conventional (block-interface) SSDs hide NAND constraints behind an FTL:
+the host overwrites logical block addresses (LBAs) in place, and the FTL
+redirects each write to a fresh physical page, invalidating the old one.
+When free blocks run low, garbage collection picks a victim erase block,
+relocates its still-valid pages, and erases it — those relocations are
+device-level write amplification (DLWA, §2.2).
+
+This is the substrate for the paper's **Kangaroo** baseline (whose GC is
+independent of log-to-set migration, Case 3.1, multiplying its WA to
+55.6×) and for the **Set** baseline (which needs 50 % over-provisioning
+to keep DLWA near 1, halving usable flash — Table 4).
+
+Implementation notes
+--------------------
+- Greedy victim selection (fewest valid pages) — the classic baseline
+  policy; with uniform random invalidation it closely tracks the
+  analytic ``1/(2·OP)``-style GC overhead curves.
+- Over-provisioning is expressed exactly as in the paper's simplified
+  form (§3.2): the host sees ``(1 - op_ratio)`` of raw pages as LBAs.
+- One active block receives all host and GC writes (single append
+  point); a ``gc_watermark`` of free blocks triggers collection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConfigError, FTLError, OutOfSpaceError, ReadError
+from repro.flash.device import NandArray
+from repro.flash.geometry import FlashGeometry
+from repro.flash.latency import LatencyModel
+from repro.flash.stats import FlashStats
+
+#: Sentinel for "LBA not mapped".
+UNMAPPED = -1
+
+
+class PageMapFTL:
+    """Page-level LBA→PPN mapping with greedy GC.
+
+    Parameters
+    ----------
+    geometry:
+        Raw device layout.
+    op_ratio:
+        Fraction of raw pages reserved as over-provisioning (the paper's
+        ``X``).  The host address space has
+        ``floor(num_pages * (1 - op_ratio))`` LBAs.
+    gc_watermark_blocks:
+        Run GC whenever the free-block count drops to this level.
+    relocation_callback:
+        Optional hook ``(lba, old_ppn, new_ppn) -> None`` invoked for
+        every page GC relocates — FairyWREN-style host FTLs use this to
+        merge migration into GC, and tests use it to audit relocations.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        *,
+        op_ratio: float = 0.07,
+        gc_watermark_blocks: int = 2,
+        stats: FlashStats | None = None,
+        latency: LatencyModel | None = None,
+        relocation_callback: Callable[[int, int, int], None] | None = None,
+    ) -> None:
+        if not 0.0 <= op_ratio < 1.0:
+            raise ConfigError(f"op_ratio must be in [0, 1), got {op_ratio}")
+        if gc_watermark_blocks < 1:
+            raise ConfigError("gc_watermark_blocks must be >= 1")
+        if gc_watermark_blocks >= geometry.num_blocks:
+            raise ConfigError("gc_watermark_blocks must leave usable blocks")
+
+        self.geometry = geometry
+        self.op_ratio = op_ratio
+        self.gc_watermark_blocks = gc_watermark_blocks
+        self.nand = NandArray(geometry)
+        self.stats = stats if stats is not None else FlashStats()
+        self.latency = latency
+        self.relocation_callback = relocation_callback
+
+        self.num_lbas = int(geometry.num_pages * (1.0 - op_ratio))
+        if self.num_lbas <= 0:
+            raise ConfigError("op_ratio leaves no host-visible LBAs")
+        op_pages = geometry.num_pages - self.num_lbas
+        min_op_pages = gc_watermark_blocks * geometry.pages_per_block
+        if op_pages < min_op_pages:
+            raise ConfigError(
+                f"op_ratio={op_ratio} reserves {op_pages} pages but GC "
+                f"needs at least {min_op_pages} (watermark blocks x "
+                "pages/block); a real FTL with less spare deadlocks"
+            )
+
+        # Mapping tables.
+        self._l2p = [UNMAPPED] * self.num_lbas
+        self._p2l = [UNMAPPED] * geometry.num_pages
+        self._valid_in_block = [0] * geometry.num_blocks
+
+        # Free-block pool and the active (write-frontier) block.
+        self._free_blocks: list[int] = list(range(geometry.num_blocks - 1, -1, -1))
+        self._active_block = self._free_blocks.pop()
+        self._active_offset = 0
+
+    # ------------------------------------------------------------------
+    # Host interface
+    # ------------------------------------------------------------------
+    def write(self, lba: int, payload: Any, *, now_us: float = 0.0) -> float:
+        """Overwrite ``lba`` with ``payload``; returns latency in µs.
+
+        Counts one host page write; GC relocations triggered by the
+        write are accounted as flash (not host) writes.
+        """
+        self._check_lba(lba)
+        old_ppn = self._l2p[lba]
+        if old_ppn != UNMAPPED:
+            self._invalidate(old_ppn)
+        new_ppn = self._allocate_page()
+        self.nand.program(new_ppn, payload)
+        self._map(lba, new_ppn)
+        self.stats.record_host_write(self.geometry.page_size, also_flash=False)
+        self.stats.flash_write_bytes += self.geometry.page_size
+        lat = self.latency.program(new_ppn, now_us) if self.latency else 0.0
+        self._maybe_gc(now_us=now_us)
+        return lat
+
+    def read(self, lba: int, *, now_us: float = 0.0) -> tuple[Any, float]:
+        """Read ``lba``; returns ``(payload, latency_us)``."""
+        self._check_lba(lba)
+        ppn = self._l2p[lba]
+        if ppn == UNMAPPED:
+            raise ReadError(f"LBA {lba} is unmapped")
+        payload = self.nand.read(ppn)
+        self.stats.record_host_read(self.geometry.page_size)
+        lat = self.latency.read(ppn, now_us) if self.latency else 0.0
+        return payload, lat
+
+    def is_mapped(self, lba: int) -> bool:
+        self._check_lba(lba)
+        return self._l2p[lba] != UNMAPPED
+
+    def trim(self, lba: int) -> None:
+        """Discard ``lba`` (TRIM/deallocate), freeing its physical page."""
+        self._check_lba(lba)
+        ppn = self._l2p[lba]
+        if ppn != UNMAPPED:
+            self._invalidate(ppn)
+            self._l2p[lba] = UNMAPPED
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_lba(self, lba: int) -> None:
+        if not 0 <= lba < self.num_lbas:
+            raise FTLError(f"LBA {lba} out of range [0, {self.num_lbas})")
+
+    def _map(self, lba: int, ppn: int) -> None:
+        self._l2p[lba] = ppn
+        self._p2l[ppn] = lba
+        self._valid_in_block[self.geometry.page_to_block(ppn)] += 1
+
+    def _invalidate(self, ppn: int) -> None:
+        block = self.geometry.page_to_block(ppn)
+        if self._p2l[ppn] == UNMAPPED:
+            raise FTLError(f"double invalidation of ppn {ppn}")
+        self._p2l[ppn] = UNMAPPED
+        self._valid_in_block[block] -= 1
+        if self._valid_in_block[block] < 0:
+            raise FTLError(f"negative valid count in block {block}")
+
+    def _allocate_page(self) -> int:
+        """Next physical page at the write frontier, advancing blocks."""
+        if self._active_offset == self.geometry.pages_per_block:
+            if not self._free_blocks:
+                raise OutOfSpaceError("FTL has no free blocks (GC failed?)")
+            self._active_block = self._free_blocks.pop()
+            self._active_offset = 0
+        ppn = (
+            self.geometry.block_first_page(self._active_block) + self._active_offset
+        )
+        self._active_offset += 1
+        return ppn
+
+    @property
+    def free_block_count(self) -> int:
+        # The partially-written active block still has room, count it as
+        # free capacity only via _active_offset; watermark is on whole
+        # free blocks.
+        return len(self._free_blocks)
+
+    def _maybe_gc(self, *, now_us: float = 0.0) -> None:
+        ppb = self.geometry.pages_per_block
+        while self.free_block_count < self.gc_watermark_blocks:
+            victim = self._pick_victim()
+            if victim is None:
+                break
+            if self._valid_in_block[victim] >= ppb and self.free_block_count >= 1:
+                # Every candidate is fully valid: relocating gains
+                # nothing.  The invalid inventory is trapped in the
+                # active block; defer GC until that block rotates into
+                # the candidate set (one reserve block remains to absorb
+                # writes until then).
+                break
+            self._gc_once(victim, now_us=now_us)
+
+    def _gc_once(self, victim: int | None = None, *, now_us: float = 0.0) -> None:
+        if victim is None:
+            victim = self._pick_victim()
+        if victim is None:
+            raise OutOfSpaceError("no GC victim available")
+        first = self.geometry.block_first_page(victim)
+        relocated = 0
+        for ppn in range(first, first + self.geometry.pages_per_block):
+            lba = self._p2l[ppn]
+            if lba == UNMAPPED:
+                continue
+            # Relocate the valid page to the write frontier.
+            payload = self.nand.read(ppn)
+            self._invalidate(ppn)
+            new_ppn = self._allocate_page()
+            self.nand.program(new_ppn, payload)
+            self._map(lba, new_ppn)
+            relocated += 1
+            if self.relocation_callback is not None:
+                self.relocation_callback(lba, ppn, new_ppn)
+        self.nand.erase_block(victim)
+        self._free_blocks.insert(0, victim)
+        self.stats.record_gc(relocated, self.geometry.page_size)
+        self.stats.record_erase()
+        if self.latency:
+            self.latency.erase(first, now_us)
+
+    def _pick_victim(self) -> int | None:
+        """Greedy: the non-active block with the fewest valid pages."""
+        free = set(self._free_blocks)
+        best = None
+        best_valid = None
+        for block in range(self.geometry.num_blocks):
+            if block == self._active_block or block in free:
+                continue
+            valid = self._valid_in_block[block]
+            if best_valid is None or valid < best_valid:
+                best, best_valid = block, valid
+                if valid == 0:
+                    break
+        return best
+
+    # ------------------------------------------------------------------
+    # Introspection (for tests and experiments)
+    # ------------------------------------------------------------------
+    def mapped_lba_count(self) -> int:
+        return sum(1 for p in self._l2p if p != UNMAPPED)
+
+    def valid_page_count(self) -> int:
+        return sum(self._valid_in_block)
+
+    def check_invariants(self) -> None:
+        """Audit internal consistency; raises :class:`FTLError` on drift."""
+        if self.mapped_lba_count() != self.valid_page_count():
+            raise FTLError(
+                "mapped LBA count != valid page count "
+                f"({self.mapped_lba_count()} != {self.valid_page_count()})"
+            )
+        for lba, ppn in enumerate(self._l2p):
+            if ppn != UNMAPPED and self._p2l[ppn] != lba:
+                raise FTLError(f"l2p/p2l mismatch at lba={lba}, ppn={ppn}")

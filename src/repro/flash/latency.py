@@ -1,0 +1,192 @@
+"""Latency and interference model for simulated flash devices.
+
+The paper's Figure 15 result — Nemo's stable p50/p99/p9999 read latency
+versus FairyWREN's erratic tails — is attributed (§5.2) to write
+interference: FW issues continuous small 4 KiB RMW writes that stall
+subsequent reads, while Nemo writes in occasional large batches that are
+absorbed by idle periods and parallel zones.
+
+We model that mechanism with a multi-channel service-time model:
+
+- The device has ``num_channels`` independent channels; physical page
+  ``p`` is served by channel ``p % num_channels`` (interleaved striping,
+  the standard SSD layout).
+- Each channel is a single server with a ``busy_until`` horizon.  An
+  operation arriving at time ``t`` starts at ``max(t, busy_until)`` and
+  occupies the channel for its NAND service time.
+- Reads take :attr:`NandTimings.read_us`; programs take
+  :attr:`NandTimings.program_us`; erases :attr:`NandTimings.erase_us`.
+  A program or erase in front of a read delays the read — the
+  read-behind-write interference the paper names — but modern NAND
+  supports program- and erase-suspend with read prioritisation, so a
+  read waits at most ``suspend_floor_us`` behind pending
+  program/erase work (not the whole backlog).  The probability that a
+  read hits such a window scales with the engine's write duty cycle,
+  which is how FairyWREN's 15× write traffic turns into noisy tails
+  while Nemo's occasional batched flushes leave reads clean.
+
+Timestamps are microseconds on a simulated clock supplied by the caller
+(the harness advances it using the workload's arrival rate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class NandTimings:
+    """NAND operation service times in microseconds.
+
+    Defaults follow published TLC figures (read ~60–100 µs, program
+    ~300–800 µs, erase ~3–10 ms) in the middle of the range; the ZN540's
+    4 KiB random-read latency is in the tens of microseconds including
+    the controller, which the channel model reproduces under low load.
+    """
+
+    read_us: float = 65.0
+    program_us: float = 350.0
+    erase_us: float = 3500.0
+    #: Controller + interconnect overhead added to every host op.
+    transfer_us: float = 12.0
+    #: With program/erase-suspend and read prioritisation, a read never
+    #: waits behind more than this residual of in-flight write work.
+    suspend_floor_us: float = 180.0
+
+
+@dataclass
+class LatencyModel:
+    """Per-channel busy-time model producing per-op completion latencies.
+
+    Parameters
+    ----------
+    num_channels:
+        Independent NAND channels (parallel service units).
+    timings:
+        NAND service times.
+    read_cache_pages:
+        SSD-controller read buffer (LRU): a page read again while still
+        buffered costs only the transfer time and occupies no channel.
+        Real controllers carry tens of MB of such buffer; it is what
+        keeps repeatedly-read hot pages (e.g. popular PBFG index pages)
+        from serialising on one die.  0 disables it.
+    """
+
+    num_channels: int = 8
+    timings: NandTimings = field(default_factory=NandTimings)
+    read_cache_pages: int = 64
+    _busy_until: list[float] = field(init=False, repr=False)
+    #: True while the pending channel work is suspendable (program/erase
+    #: or background reads) so foreground reads jump the backlog.
+    _busy_is_program: list[bool] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if self.read_cache_pages < 0:
+            raise ValueError("read_cache_pages must be non-negative")
+        self._busy_until = [0.0] * self.num_channels
+        self._busy_is_program = [False] * self.num_channels
+        from collections import OrderedDict
+
+        self._read_cache: "OrderedDict[int, None]" = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def channel_of(self, page: int) -> int:
+        """Channel serving physical page ``page`` (interleaved striping)."""
+        return page % self.num_channels
+
+    def _start_time(self, channel: int, now_us: float, *, is_read: bool) -> float:
+        busy = self._busy_until[channel]
+        if busy <= now_us:
+            return now_us
+        if is_read and self._busy_is_program[channel]:
+            # Program/erase-suspend with read priority: the read begins
+            # after at most the suspend floor, not the whole write
+            # backlog.
+            return min(busy, now_us + self.timings.suspend_floor_us)
+        return busy
+
+    def read(self, page: int, now_us: float, *, background: bool = False) -> float:
+        """Issue a page read at ``now_us``; return its latency in µs.
+
+        ``background`` marks asynchronous engine work (e.g. Nemo's
+        writeback reads, done by a dedicated thread in the paper's
+        implementation): it occupies the channel but stays suspendable,
+        so foreground reads are not stuck behind it.
+        """
+        if self.read_cache_pages:
+            if page in self._read_cache:
+                self._read_cache.move_to_end(page)
+                return self.timings.transfer_us
+            self._read_cache[page] = None
+            while len(self._read_cache) > self.read_cache_pages:
+                self._read_cache.popitem(last=False)
+        ch = self.channel_of(page)
+        start = self._start_time(ch, now_us, is_read=True)
+        finish = start + self.timings.read_us
+        # Reads do not extend a suspended program's horizon beyond the
+        # read itself (the program resumes and re-occupies its remainder).
+        self._busy_until[ch] = max(self._busy_until[ch], finish)
+        if self._busy_until[ch] == finish:
+            self._busy_is_program[ch] = background
+        return finish - now_us + self.timings.transfer_us
+
+    def read_many(
+        self, pages: list[int], now_us: float, *, background: bool = False
+    ) -> float:
+        """Issue parallel reads; return the latency of the slowest.
+
+        Models Nemo's parallel candidate-SG reads (§5.5): reads on
+        distinct channels overlap, so k parallel reads cost ~1 read
+        unless they collide on a channel.
+        """
+        if not pages:
+            return 0.0
+        return max(self.read(p, now_us, background=background) for p in pages)
+
+    def program(self, page: int, now_us: float) -> float:
+        """Issue a page program at ``now_us``; return its latency in µs."""
+        ch = self.channel_of(page)
+        start = self._start_time(ch, now_us, is_read=False)
+        finish = start + self.timings.program_us
+        self._busy_until[ch] = finish
+        self._busy_is_program[ch] = True
+        return finish - now_us + self.timings.transfer_us
+
+    def program_many(self, pages: list[int], now_us: float) -> float:
+        """Issue a batched multi-page program (e.g. an SG flush).
+
+        Pages stripe across channels, so an N-page batch on C channels
+        costs ~ceil(N/C) program times on the busiest channel.  Returns
+        the completion latency of the batch.
+        """
+        if not pages:
+            return 0.0
+        return max(self.program(p, now_us) for p in pages)
+
+    def erase(self, first_page: int, now_us: float) -> float:
+        """Issue a block/zone erase; returns its latency in µs.
+
+        Erases are suspendable like programs (``_busy_is_program`` marks
+        "suspendable write work"), so reads behind them are bounded by
+        the suspend floor.
+        """
+        ch = self.channel_of(first_page)
+        start = self._start_time(ch, now_us, is_read=False)
+        finish = start + self.timings.erase_us
+        self._busy_until[ch] = finish
+        self._busy_is_program[ch] = True
+        return finish - now_us
+
+    # ------------------------------------------------------------------
+    def idle_at(self, now_us: float) -> bool:
+        """True when no channel is busy at ``now_us``."""
+        return all(b <= now_us for b in self._busy_until)
+
+    def reset(self) -> None:
+        """Clear all channel state (new measurement epoch)."""
+        for i in range(self.num_channels):
+            self._busy_until[i] = 0.0
+            self._busy_is_program[i] = False
+        self._read_cache.clear()

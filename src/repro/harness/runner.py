@@ -1,0 +1,166 @@
+"""Trace replay: the cache-client loop shared by all experiments.
+
+Semantics (matching the paper's CacheLib harness):
+
+- **GET**: look the key up; on a miss, admit the object (read-through —
+  the backend fetch is implicit).  Hits/misses feed the miss-ratio
+  figures; hit latencies feed the latency percentiles.
+- **SET**: insert/overwrite the object.
+- **DELETE**: user-driven removal.
+
+A simulated wall clock advances by ``1e6 / arrival_rate`` microseconds
+per request so the device latency model experiences realistic
+inter-arrival gaps; "flash writes per minute" uses this clock.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines.base import CacheEngine
+from repro.errors import ConfigError
+from repro.harness.metrics import MetricSeries, WindowedRate
+from repro.harness.percentile import LatencyRecorder
+from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace
+
+#: Percentiles the paper reports (Fig. 15): median, p99, p9999.
+LATENCY_PERCENTILES = [50.0, 99.0, 99.99]
+
+
+@dataclass
+class ReplayResult:
+    """Everything one replay produced."""
+
+    engine_name: str
+    trace_name: str
+    num_requests: int
+    final: dict[str, float]
+    series: dict[str, MetricSeries] = field(default_factory=dict)
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    write_rate: WindowedRate | None = None
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+
+    @property
+    def wa(self) -> float:
+        return self.final.get("wa", float("nan"))
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.final.get("miss_ratio", float("nan"))
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.engine_name} on {self.trace_name}:",
+            f"{self.num_requests:,} reqs in {self.wall_seconds:.1f}s wall",
+            f"WA={self.wa:.2f}",
+            f"miss={self.miss_ratio:.3f}",
+        ]
+        if len(self.latency):
+            p = self.latency.percentiles(LATENCY_PERCENTILES)
+            parts.append(
+                "lat p50/p99/p9999 = "
+                + "/".join(f"{p[q]:.0f}us" for q in LATENCY_PERCENTILES)
+            )
+        return "  ".join(parts)
+
+
+def replay(
+    engine: CacheEngine,
+    trace: Trace,
+    *,
+    sample_every: int | None = None,
+    arrival_rate: float = 50_000.0,
+    record_latency: bool = False,
+    write_rate_window_s: float | None = None,
+    mark_window_at: int | None = None,
+    sampled_metrics: tuple[str, ...] = ("wa", "miss_ratio", "host_write_bytes"),
+    progress: bool = False,
+) -> ReplayResult:
+    """Replay ``trace`` against ``engine`` and collect metrics.
+
+    Parameters
+    ----------
+    engine:
+        Any :class:`~repro.baselines.base.CacheEngine`.
+    trace:
+        The request stream.
+    sample_every:
+        Record ``sampled_metrics`` every N requests (None = 64 samples).
+    arrival_rate:
+        Requests per simulated second (drives the latency clock).
+    record_latency:
+        Record per-GET service latency (needs the engine's device to
+        have a latency model for non-zero values).
+    write_rate_window_s:
+        When set, collect host-write bytes per window of simulated
+        seconds (Fig. 13).
+    mark_window_at:
+        Request index at which to split latency percentiles into
+        before/after windows (Fig. 15's "flash space fully utilised"
+        dashed line).
+    progress:
+        Print a one-line progress note every ~10 % of the trace.
+    """
+    if arrival_rate <= 0:
+        raise ConfigError("arrival_rate must be positive")
+    n = len(trace)
+    if sample_every is None:
+        sample_every = max(1, n // 64)
+
+    series = {m: MetricSeries(name=m) for m in sampled_metrics}
+    latency = LatencyRecorder()
+    write_rate = WindowedRate(write_rate_window_s) if write_rate_window_s else None
+
+    ops = trace.ops
+    keys = trace.keys
+    sizes = trace.sizes
+    step_us = 1e6 / arrival_rate
+
+    t0 = time.perf_counter()
+    now_us = 0.0
+    for i in range(n):
+        key = int(keys[i])
+        size = int(sizes[i])
+        op = ops[i]
+        if op == OP_GET:
+            result = engine.lookup(key, size, now_us=now_us)
+            if record_latency:
+                latency.record(result.latency_us)
+            if not result.hit:
+                engine.insert(key, size, now_us=now_us)
+        elif op == OP_SET:
+            engine.insert(key, size, now_us=now_us)
+        elif op == OP_DELETE:
+            engine.delete(key)
+        now_us += step_us
+
+        if mark_window_at is not None and i + 1 == mark_window_at:
+            latency.mark_window()
+        if (i + 1) % sample_every == 0 or i + 1 == n:
+            snap = engine.metrics_snapshot()
+            for m in sampled_metrics:
+                series[m].record(i + 1, snap.get(m, float("nan")))
+            if write_rate is not None:
+                write_rate.update(now_us / 1e6, snap["host_write_bytes"])
+            if progress and (i + 1) % max(1, n // 10) < sample_every:
+                print(
+                    f"  [{engine.name}] {i + 1:,}/{n:,} "
+                    f"wa={snap.get('wa', float('nan')):.2f} "
+                    f"miss={snap.get('miss_ratio', float('nan')):.3f}"
+                )
+    if write_rate is not None:
+        write_rate.finish(now_us / 1e6)
+
+    return ReplayResult(
+        engine_name=engine.name,
+        trace_name=trace.name,
+        num_requests=n,
+        final=engine.metrics_snapshot(),
+        series=series,
+        latency=latency,
+        write_rate=write_rate,
+        wall_seconds=time.perf_counter() - t0,
+        sim_seconds=now_us / 1e6,
+    )

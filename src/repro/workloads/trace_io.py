@@ -1,0 +1,55 @@
+"""Trace persistence: save/load traces as ``.npz`` archives.
+
+Long experiments reuse one generated trace across engines so every system
+replays *identical* requests (the paper replays the same merged trace
+against all five engines).  Persisting the arrays also lets the
+benchmark harness amortise generation across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.workloads.trace import Trace
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        ops=trace.ops,
+        keys=trace.keys,
+        sizes=trace.sizes,
+        meta=np.frombuffer(
+            json.dumps(
+                {"name": trace.name, "num_keys": trace.num_keys, **trace.meta}
+            ).encode(),
+            dtype=np.uint8,
+        ),
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"no trace at {path}")
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode())
+        return Trace(
+            ops=data["ops"],
+            keys=data["keys"],
+            sizes=data["sizes"],
+            name=meta.pop("name", "trace"),
+            num_keys=meta.pop("num_keys", 0),
+            meta=meta,
+        )

@@ -1,0 +1,93 @@
+"""Unit tests for the endurance model."""
+
+import pytest
+
+from repro.analysis.endurance import (
+    QLC_PE_CYCLES,
+    TLC_PE_CYCLES,
+    DeviceEndurance,
+    device_lifetime_years,
+    drive_writes_per_day,
+    lifetime_extension,
+)
+from repro.errors import ConfigError
+
+GIB = 1 << 30
+
+
+class TestLifetime:
+    def test_paper_headline_extension(self):
+        """FW 15.2 → Nemo 1.56 is a ~9.7x endurance extension."""
+        assert lifetime_extension(15.2, 1.56) == pytest.approx(9.74, abs=0.01)
+
+    def test_lifetime_scales_inversely_with_wa(self):
+        dev = DeviceEndurance(capacity_bytes=360 * GIB)
+        nemo = device_lifetime_years(
+            dev, client_write_rate_bps=10e6, write_amplification=1.56
+        )
+        fw = device_lifetime_years(
+            dev, client_write_rate_bps=10e6, write_amplification=15.2
+        )
+        assert nemo / fw == pytest.approx(15.2 / 1.56, rel=1e-6)
+
+    def test_concrete_magnitude(self):
+        """A 360 GB TLC device at 1 MB/s client writes and WA 1.56
+        lasts over a decade; at WA 55 (Kangaroo) well under one year."""
+        dev = DeviceEndurance(capacity_bytes=360 * GIB, pe_cycles=TLC_PE_CYCLES)
+        nemo_years = device_lifetime_years(
+            dev, client_write_rate_bps=1e6, write_amplification=1.56
+        )
+        kg_years = device_lifetime_years(
+            dev, client_write_rate_bps=1e6, write_amplification=55.6
+        )
+        assert nemo_years > 10
+        assert kg_years < 1.0
+
+    def test_sub_unity_wa_clamped(self):
+        dev = DeviceEndurance(capacity_bytes=GIB)
+        low = device_lifetime_years(
+            dev, client_write_rate_bps=1e6, write_amplification=0.5
+        )
+        assert low > 0
+
+    def test_qlc_shorter_than_tlc(self):
+        tlc = DeviceEndurance(GIB, pe_cycles=TLC_PE_CYCLES)
+        qlc = DeviceEndurance(GIB, pe_cycles=QLC_PE_CYCLES)
+        kwargs = dict(client_write_rate_bps=1e6, write_amplification=2.0)
+        assert device_lifetime_years(qlc, **kwargs) < device_lifetime_years(
+            tlc, **kwargs
+        )
+
+
+class TestDWPD:
+    def test_dwpd_formula(self):
+        dev = DeviceEndurance(capacity_bytes=100 * GIB)
+        dwpd = drive_writes_per_day(
+            dev,
+            client_write_rate_bps=100 * GIB / 86400,  # one capacity/day logical
+            write_amplification=2.0,
+        )
+        assert dwpd == pytest.approx(2.0)
+
+    def test_dwpd_scales_with_wa(self):
+        dev = DeviceEndurance(capacity_bytes=GIB)
+        lo = drive_writes_per_day(dev, client_write_rate_bps=1e6, write_amplification=1.5)
+        hi = drive_writes_per_day(dev, client_write_rate_bps=1e6, write_amplification=15.0)
+        assert hi == pytest.approx(10 * lo)
+
+
+class TestValidation:
+    def test_bad_device(self):
+        with pytest.raises(ConfigError):
+            DeviceEndurance(0)
+        with pytest.raises(ConfigError):
+            DeviceEndurance(GIB, pe_cycles=0)
+
+    def test_bad_rates(self):
+        dev = DeviceEndurance(GIB)
+        with pytest.raises(ConfigError):
+            device_lifetime_years(dev, client_write_rate_bps=0, write_amplification=1)
+        with pytest.raises(ConfigError):
+            drive_writes_per_day(dev, client_write_rate_bps=0, write_amplification=1)
+        with pytest.raises(ConfigError):
+            lifetime_extension(0, 1)

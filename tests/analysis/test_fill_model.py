@@ -1,0 +1,73 @@
+"""Unit tests for the short-term hash-skew fill model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fill_model import (
+    expected_fill_when_first_set_full,
+    fill_at_first_full_simulated,
+)
+from repro.errors import ConfigError
+
+
+class TestAnalytic:
+    def test_paper_scale_matches_fig8(self):
+        """275,712 sets of ~16 objects → remaining fill < 25 % (Fig. 8)."""
+        fill = expected_fill_when_first_set_full(275_712, 16)
+        assert fill < 0.25
+
+    def test_more_sets_means_lower_fill(self):
+        assert expected_fill_when_first_set_full(
+            16_384, 16
+        ) < expected_fill_when_first_set_full(256, 16)
+
+    def test_bigger_sets_fill_relatively_later(self):
+        """Fig. 8's 8 KiB-set trend: higher capacity → higher fill."""
+        assert expected_fill_when_first_set_full(
+            1024, 32
+        ) > expected_fill_when_first_set_full(1024, 16)
+
+    def test_fill_in_unit_interval(self):
+        for n in (10, 1000, 100_000):
+            f = expected_fill_when_first_set_full(n, 16)
+            assert 0.0 < f < 1.0
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            expected_fill_when_first_set_full(0, 16)
+        with pytest.raises(ConfigError):
+            expected_fill_when_first_set_full(16, 0)
+
+
+class TestSimulated:
+    def test_uniform_stream(self):
+        rng = np.random.default_rng(0)
+        n = 4000
+        sizes = np.full(n, 256)
+        offsets = rng.integers(0, 64, size=n)
+        total, remaining = fill_at_first_full_simulated(64, 4096, sizes, offsets)
+        assert 0.0 < remaining <= total <= 1.0
+
+    def test_agrees_with_analytic_roughly(self):
+        rng = np.random.default_rng(1)
+        num_sets, cap = 512, 16
+        trials = []
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            n = num_sets * cap * 3
+            sizes = np.full(n, 4096 // cap)
+            offsets = rng.integers(0, num_sets, size=n)
+            _, remaining = fill_at_first_full_simulated(num_sets, 4096, sizes, offsets)
+            trials.append(remaining)
+        model = expected_fill_when_first_set_full(num_sets, cap)
+        assert np.mean(trials) == pytest.approx(model, rel=0.25)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(ConfigError):
+            fill_at_first_full_simulated(4, 4096, np.ones(3), np.zeros(2, dtype=int))
+
+    def test_stream_too_short_rejected(self):
+        with pytest.raises(ConfigError):
+            fill_at_first_full_simulated(
+                64, 4096, np.full(10, 100), np.arange(10) % 64
+            )

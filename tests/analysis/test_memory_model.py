@@ -1,0 +1,55 @@
+"""Unit tests for Table 6's memory accounting."""
+
+import pytest
+
+from repro.analysis.memory_model import (
+    fairywren_bits_per_object,
+    naive_nemo_bits_per_object,
+    nemo_bits_per_object,
+)
+from repro.errors import ConfigError
+
+
+class TestPaperColumns:
+    def test_fairywren_9p9(self):
+        assert fairywren_bits_per_object(0.05) == pytest.approx(9.9, abs=0.1)
+
+    def test_naive_nemo_30p4(self):
+        assert naive_nemo_bits_per_object(0.001) == pytest.approx(30.4, abs=0.1)
+
+    def test_nemo_8p3(self):
+        bits = nemo_bits_per_object(
+            index_buffer_bytes=1077 * 2**20,
+            capacity_bytes=2 * 2**40,
+            mean_object_size=200.0,
+        )
+        assert bits == pytest.approx(8.3, abs=0.1)
+
+    def test_nemo_without_buffer_term(self):
+        assert nemo_bits_per_object() == pytest.approx(7.5, abs=0.05)
+
+
+class TestShape:
+    def test_bigger_log_costs_more(self):
+        assert fairywren_bits_per_object(0.20) > fairywren_bits_per_object(0.05)
+
+    def test_less_caching_saves_memory(self):
+        assert nemo_bits_per_object(cached_index_ratio=0.25) < nemo_bits_per_object(
+            cached_index_ratio=0.75
+        )
+
+    def test_wider_window_costs_more(self):
+        assert nemo_bits_per_object(hotness_window_fraction=0.5) > nemo_bits_per_object(
+            hotness_window_fraction=0.1
+        )
+
+    def test_nemo_beats_naive_nemo(self):
+        assert nemo_bits_per_object() < naive_nemo_bits_per_object()
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            fairywren_bits_per_object(-0.1)
+        with pytest.raises(ConfigError):
+            nemo_bits_per_object(cached_index_ratio=2.0)
+        with pytest.raises(ConfigError):
+            nemo_bits_per_object(hotness_window_fraction=-1.0)

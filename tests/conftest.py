@@ -1,0 +1,60 @@
+"""Shared fixtures: tiny geometries and traces sized for fast tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import NemoConfig
+from repro.flash.geometry import FlashGeometry
+from repro.workloads.mixer import merged_twitter_trace
+from repro.workloads.trace import Trace
+
+
+@pytest.fixture
+def tiny_geometry() -> FlashGeometry:
+    """8 zones x 64 KiB (16 pages of 4 KiB each): fills in milliseconds."""
+    return FlashGeometry(
+        page_size=4096, pages_per_block=16, num_blocks=8, blocks_per_zone=1
+    )
+
+
+@pytest.fixture
+def small_geometry() -> FlashGeometry:
+    """16 zones x 256 KiB: enough structure for engine integration tests."""
+    return FlashGeometry(
+        page_size=4096, pages_per_block=64, num_blocks=16, blocks_per_zone=1
+    )
+
+
+@pytest.fixture
+def nemo_test_config() -> NemoConfig:
+    """Nemo config matched to the small test geometries."""
+    return NemoConfig(
+        flush_threshold=4,
+        sgs_per_index_group=3,
+        bf_capacity_per_set=20,
+    )
+
+
+_TRACE_CACHE: dict[tuple, Trace] = {}
+
+
+def cached_twitter_trace(num_requests: int, wss_scale: float, seed: int = 0) -> Trace:
+    key = (num_requests, wss_scale, seed)
+    if key not in _TRACE_CACHE:
+        _TRACE_CACHE[key] = merged_twitter_trace(
+            num_requests=num_requests, wss_scale=wss_scale, seed=seed
+        )
+    return _TRACE_CACHE[key]
+
+
+@pytest.fixture
+def small_trace() -> Trace:
+    """~40k-request merged Twitter trace with a small working set."""
+    return cached_twitter_trace(40_000, 1.0 / 2048)
+
+
+@pytest.fixture
+def pressure_trace() -> Trace:
+    """Trace whose referenced working set exceeds the small geometries."""
+    return cached_twitter_trace(60_000, 1.0 / 512)

@@ -1,0 +1,100 @@
+"""Unit tests for the hybrid hotness tracker (§4.4, Fig. 11)."""
+
+import pytest
+
+from repro.core.hotness import HotnessTracker
+from repro.errors import ConfigError
+
+
+class FakeCache:
+    """Controllable 'is this group-page cached?' oracle."""
+
+    def __init__(self):
+        self.cached: set[int] = set()
+
+    def __call__(self, page_idx: int) -> bool:
+        return page_idx in self.cached
+
+
+@pytest.fixture
+def setup():
+    cache = FakeCache()
+    tracker = HotnessTracker(
+        0.3,
+        page_idx_cached=cache,
+        page_of_offset=lambda o: o // 4,  # 4 offsets per index page
+    )
+    return tracker, cache
+
+
+class TestAccessBits:
+    def test_access_inside_window_sets_bit(self, setup):
+        tracker, cache = setup
+        cache.cached.add(0)
+        tracker.record_access(key=1, offset=2, in_window=True)
+        assert tracker.is_hot(1)
+
+    def test_access_outside_window_ignored(self, setup):
+        tracker, cache = setup
+        cache.cached.add(0)
+        tracker.record_access(key=1, offset=2, in_window=False)
+        assert not tracker.is_hot(1)
+        assert tracker.tracked_count() == 0
+
+    def test_hybrid_requires_cached_pbfg(self, setup):
+        """Bit set but PBFG not cached → not hot (the hybrid AND)."""
+        tracker, cache = setup
+        tracker.record_access(key=1, offset=2, in_window=True)
+        assert not tracker.is_hot(1)
+        cache.cached.add(0)
+        assert tracker.is_hot(1)
+
+    def test_discard(self, setup):
+        tracker, cache = setup
+        cache.cached.add(0)
+        tracker.record_access(key=1, offset=0, in_window=True)
+        tracker.discard(1)
+        assert not tracker.is_hot(1)
+
+
+class TestCooling:
+    def test_cooling_clears_uncached_bits(self, setup):
+        """Fig. 11: bits for sets with cached PBFGs survive, others die."""
+        tracker, cache = setup
+        cache.cached.add(0)  # offsets 0-3 cached
+        tracker.record_access(key=1, offset=1, in_window=True)   # cached
+        tracker.record_access(key=2, offset=9, in_window=True)   # not cached
+        cleared = tracker.cool()
+        assert cleared == 1
+        assert tracker.is_hot(1)
+        assert not tracker.is_hot(2)
+        assert tracker.coolings == 1
+        assert tracker.bits_cleared == 1
+
+    def test_cooling_is_idempotent_on_survivors(self, setup):
+        tracker, cache = setup
+        cache.cached.add(0)
+        tracker.record_access(key=1, offset=0, in_window=True)
+        tracker.cool()
+        assert tracker.cool() == 0
+        assert tracker.is_hot(1)
+
+    def test_recency_change_affects_later_cooling(self, setup):
+        """An initially hot set that cools loses its objects' bits."""
+        tracker, cache = setup
+        cache.cached.add(0)
+        tracker.record_access(key=1, offset=0, in_window=True)
+        cache.cached.discard(0)  # PBFG evicted from the index cache
+        tracker.cool()
+        assert not tracker.is_hot(1)
+        assert tracker.tracked_count() == 0
+
+
+class TestAccounting:
+    def test_bits_per_object_is_window_fraction(self, setup):
+        tracker, _ = setup
+        assert tracker.bits_per_object() == pytest.approx(0.3)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigError):
+            HotnessTracker(1.5, page_idx_cached=bool, page_of_offset=int)

@@ -1,0 +1,82 @@
+"""Index-pool physical placement edge cases."""
+
+import pytest
+
+from repro.core.index_cache import IndexPool
+from repro.core.pbfg import IndexLayout
+from repro.errors import EngineStateError
+from repro.flash.geometry import FlashGeometry
+from repro.flash.zns import ZNSDevice
+
+
+def make_pool(num_zones=3, pages_per_zone=8, sets_per_sg=24, sgs_per_group=1):
+    geo = FlashGeometry(
+        page_size=4096,
+        pages_per_block=pages_per_zone,
+        num_blocks=num_zones,
+        blocks_per_zone=1,
+    )
+    device = ZNSDevice(geo)
+    layout = IndexLayout(
+        page_size=4096,
+        sets_per_sg=sets_per_sg,
+        sgs_per_group=sgs_per_group,
+        bf_capacity=40,
+        bf_false_positive_rate=0.001,
+    )
+    pool = IndexPool(device, list(range(num_zones)), layout)
+    return pool, layout, device
+
+
+def payloads(layout, gid=0):
+    return [("pbfg-page", (gid,), j) for j in range(layout.pages_per_group)]
+
+
+class TestPlacement:
+    def test_group_never_splits_across_zones(self):
+        # 56 filters fit one page at capacity 40 / 0.1 %; 112 sets give
+        # 2-page groups inside the 8-page zones.
+        pool, layout, device = make_pool(sets_per_sg=112)
+        assert layout.pages_per_group == 2
+        gids = [pool.write_group([i], payloads(layout, i)) for i in range(2)]
+        for gid in gids:
+            zones = {device.geometry.page_to_zone(p) for p in pool.groups[gid].pages}
+            assert len(zones) == 1
+
+    def test_partial_zone_skipped_when_group_does_not_fit(self):
+        pool, layout, device = make_pool(sets_per_sg=168)
+        # pages_per_group now 3; an 8-page zone holds 2 groups + 2 slack.
+        assert layout.pages_per_group == 3
+        for i in range(3):
+            pool.write_group([i], payloads(layout, i))
+        # Third group must have opened a second zone.
+        zones_used = {g.zone_id for g in pool.groups.values()}
+        assert len(zones_used) == 2
+
+    def test_generation_cache_sees_new_groups(self):
+        pool, layout, _ = make_pool()
+        assert pool.pages_for_offset(0) == []
+        pool.write_group([0], payloads(layout))
+        assert len(pool.pages_for_offset(0)) == 1
+        pool.write_group([1], payloads(layout, 1))
+        assert len(pool.pages_for_offset(0)) == 2
+
+    def test_generation_cache_sees_deaths(self):
+        pool, layout, _ = make_pool()
+        pool.write_group([0], payloads(layout))
+        assert len(pool.pages_for_offset(0)) == 1
+        pool.on_sg_evicted(0)
+        assert pool.pages_for_offset(0) == []
+
+    def test_reclaim_requires_dead_groups(self):
+        pool, layout, _ = make_pool(num_zones=1)
+        per_zone = 8 // layout.pages_per_group
+        for i in range(per_zone):
+            pool.write_group([i], payloads(layout, i))
+        with pytest.raises(EngineStateError):
+            pool.write_group([99], payloads(layout, 99))
+        # Kill the oldest groups; the pool can rotate again.
+        for i in range(per_zone):
+            pool.on_sg_evicted(i)
+        pool.write_group([99], payloads(layout, 99))
+        assert pool.live_group_count() == 1

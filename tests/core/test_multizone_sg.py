@@ -1,0 +1,109 @@
+"""Tests for multi-zone Set-Groups (paper §6, small-zone devices).
+
+On small-zone ZNS devices (e.g. Samsung PM1731a) "an SG is composed of
+multiple zones"; the engine's behaviour must be equivalent to the
+single-zone mapping — same placement semantics, same WA accounting —
+with only the physical layout differing.
+"""
+
+import pytest
+
+from repro.core.config import NemoConfig
+from repro.core.nemo import NemoCache
+from repro.errors import ConfigError
+from repro.flash.geometry import FlashGeometry
+
+
+def small_zone_geometry(num_zones=24):
+    """64 KiB zones: 16 pages each (a scaled small-zone device)."""
+    return FlashGeometry(
+        page_size=4096, pages_per_block=16, num_blocks=num_zones, blocks_per_zone=1
+    )
+
+
+def make_cache(zones_per_sg, **overrides):
+    params = dict(
+        flush_threshold=4,
+        sgs_per_index_group=2,
+        bf_capacity_per_set=20,
+        zones_per_sg=zones_per_sg,
+    )
+    params.update(overrides)
+    return NemoCache(small_zone_geometry(), NemoConfig(**params))
+
+
+class TestLayout:
+    def test_sets_scale_with_zones_per_sg(self):
+        assert make_cache(1).sets_per_sg == 16
+        assert make_cache(4).sets_per_sg == 64
+
+    def test_pool_capacity_divides(self):
+        cache = make_cache(4)
+        assert cache.pool_capacity_sgs == cache.sg_zone_count // 4
+
+    def test_invalid_zones_per_sg(self):
+        with pytest.raises(ConfigError):
+            make_cache(0)
+
+    def test_too_large_sg_rejected(self):
+        with pytest.raises(ConfigError):
+            make_cache(16)  # SGs larger than half the device
+
+
+class TestBehaviour:
+    def test_flush_spans_multiple_zones(self):
+        cache = make_cache(4)
+        for key in range(8000):
+            cache.insert(key, 250)
+        assert cache.pool
+        fsg = cache.pool[0]
+        assert len(fsg.zone_ids) == 4
+        assert len(fsg.page_bases) == 4
+
+    def test_page_of_maps_offsets_across_zones(self):
+        cache = make_cache(2)
+        for key in range(8000):
+            cache.insert(key, 250)
+        fsg = cache.pool[0]
+        first_zone_page = fsg.page_of(0)
+        second_zone_page = fsg.page_of(16)  # first offset of zone 2
+        geo = cache.geometry
+        assert geo.page_to_zone(first_zone_page) == fsg.zone_ids[0]
+        assert geo.page_to_zone(second_zone_page) == fsg.zone_ids[1]
+
+    def test_lookup_roundtrip_across_zones(self):
+        cache = make_cache(4)
+        for key in range(12_000):
+            cache.insert(key, 250)
+        hits = sum(cache.lookup(k, 250).hit for k in range(11_000, 12_000))
+        assert hits == 1000
+
+    def test_eviction_frees_all_member_zones(self):
+        cache = make_cache(2)
+        for key in range(60_000):
+            cache.insert(key, 250)
+        assert len(cache.pool) <= cache.pool_capacity_sgs
+        # All free zones accounted: pool zones + free zones == SG zones.
+        pooled = sum(len(f.zone_ids) for f in cache.pool)
+        assert pooled + len(cache._free_sg_zones) == cache.sg_zone_count
+
+    def test_wa_comparable_to_single_zone(self):
+        """The zone composition is physical only: WA stays in the same
+        band as the single-zone mapping at equal SG capacity."""
+        multi = make_cache(4)
+        for key in range(40_000):
+            multi.insert(key, 250)
+        single_geo = FlashGeometry(
+            page_size=4096, pages_per_block=16, num_blocks=24, blocks_per_zone=4
+        )
+        single = NemoCache(
+            single_geo,
+            NemoConfig(
+                flush_threshold=4, sgs_per_index_group=2, bf_capacity_per_set=20
+            ),
+        )
+        for key in range(40_000):
+            single.insert(key, 250)
+        assert multi.write_amplification == pytest.approx(
+            single.write_amplification, rel=0.25
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for PBFG layout arithmetic and the index-group builder."""
+
+import pytest
+
+from repro.core.bloom import BloomFilter
+from repro.core.pbfg import IndexGroupBuilder, IndexLayout
+from repro.errors import ConfigError
+
+
+def make_layout(**kw):
+    params = dict(
+        page_size=4096,
+        sets_per_sg=256,
+        sgs_per_group=16,
+        bf_capacity=40,
+        bf_false_positive_rate=0.001,
+    )
+    params.update(kw)
+    return IndexLayout(**params)
+
+
+class TestLayoutArithmetic:
+    def test_paper_filter_size(self):
+        layout = make_layout()
+        assert layout.filter_bytes == 72  # §5.1: 576 bits
+
+    def test_paper_packing_50_per_page(self):
+        """Table 3 scale: 50 SGs per group → one PBFG per page."""
+        layout = make_layout(sgs_per_group=50, sets_per_sg=1024)
+        assert layout.offsets_per_page == 1
+        assert layout.pages_per_group == 1024
+
+    def test_small_groups_pack_multiple_offsets(self):
+        layout = make_layout(sgs_per_group=16)
+        assert layout.offsets_per_page == 4096 // (72 * 16)
+        assert layout.pages_per_group == -(-256 // layout.offsets_per_page)
+
+    def test_page_of_offset_consistent_with_offsets_of_page(self):
+        layout = make_layout()
+        for offset in range(layout.sets_per_sg):
+            page = layout.page_of_offset(offset)
+            assert offset in layout.offsets_of_page(page)
+
+    def test_offset_out_of_range(self):
+        layout = make_layout()
+        with pytest.raises(ConfigError):
+            layout.page_of_offset(256)
+
+    def test_oversized_group_rejected(self):
+        with pytest.raises(ConfigError):
+            make_layout(sgs_per_group=100)  # 100 x 72 B > 4 KiB
+
+    def test_fig10_packed_beats_naive(self):
+        layout = make_layout()
+        assert layout.packed_retrieval_pages() == 1
+        assert layout.naive_retrieval_pages() == 16
+
+    def test_index_overhead_small(self):
+        layout = make_layout()
+        assert 0 < layout.index_overhead_fraction() < 0.05
+
+
+class TestBuilder:
+    def test_statistical_mode_placeholders(self):
+        layout = make_layout(sets_per_sg=8, sgs_per_group=2)
+        builder = IndexGroupBuilder(layout, real_filters=False)
+        assert builder.build_filters([{} for _ in range(8)]) is None
+        builder.add_sg(0, None)
+        assert not builder.is_full
+        builder.add_sg(1, None)
+        assert builder.is_full
+        members, pages = builder.take_group()
+        assert members == [0, 1]
+        assert len(pages) == layout.pages_per_group
+        assert not builder.members  # reset after take
+
+    def test_real_mode_builds_queryable_filters(self):
+        layout = make_layout(sets_per_sg=4, sgs_per_group=2)
+        builder = IndexGroupBuilder(layout, real_filters=True)
+        payloads = [{10: 100}, {}, {30: 100}, {}]
+        filters = builder.build_filters(payloads)
+        assert len(filters) == 4
+        assert 10 in filters[0]
+        assert 30 in filters[2]
+        assert 10 not in filters[1]
+
+    def test_real_mode_rejects_wrong_filter_count(self):
+        layout = make_layout(sets_per_sg=4, sgs_per_group=2)
+        builder = IndexGroupBuilder(layout, real_filters=True)
+        with pytest.raises(ConfigError):
+            builder.add_sg(0, None)
+
+    def test_query_buffered(self):
+        layout = make_layout(sets_per_sg=4, sgs_per_group=3)
+        builder = IndexGroupBuilder(layout, real_filters=True)
+        builder.add_sg(7, builder.build_filters([{1: 50}, {}, {}, {}]))
+        assert builder.query_buffered(0, 1) == [7]
+        assert builder.query_buffered(1, 1) == []
+
+    def test_take_empty_rejected(self):
+        layout = make_layout()
+        builder = IndexGroupBuilder(layout, real_filters=False)
+        with pytest.raises(ConfigError):
+            builder.take_group()
+
+    def test_real_mode_page_payload_maps_sg_offset(self):
+        layout = make_layout(sets_per_sg=4, sgs_per_group=2)
+        builder = IndexGroupBuilder(layout, real_filters=True)
+        for sg_id in (0, 1):
+            builder.add_sg(sg_id, builder.build_filters([{}, {}, {}, {}]))
+        _, pages = builder.take_group()
+        first = pages[0]
+        assert isinstance(first, dict)
+        assert all(isinstance(bf, BloomFilter) for bf in first.values())
+        offsets = {o for (_sg, o) in first}
+        assert offsets == set(layout.offsets_of_page(0))

@@ -1,0 +1,155 @@
+"""Unit + property tests for sets and Set-Groups."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.setgroup import InMemorySet, SetGroup
+from repro.errors import ConfigError, ObjectTooLargeError
+
+
+class TestInMemorySet:
+    def test_add_and_contains(self):
+        s = InMemorySet(1000)
+        s.add(1, 100)
+        assert 1 in s
+        assert s.used_bytes == 100
+        assert len(s) == 1
+
+    def test_room_check(self):
+        s = InMemorySet(250)
+        s.add(1, 200)
+        assert not s.has_room(100)
+        assert s.has_room(50)
+
+    def test_add_without_room_rejected(self):
+        s = InMemorySet(100)
+        s.add(1, 100)
+        with pytest.raises(ConfigError):
+            s.add(2, 1)
+
+    def test_oversized_object_rejected(self):
+        s = InMemorySet(100)
+        with pytest.raises(ObjectTooLargeError):
+            s.add(1, 101)
+
+    def test_duplicate_add_rejected(self):
+        s = InMemorySet(1000)
+        s.add(1, 10)
+        with pytest.raises(ConfigError):
+            s.add(1, 10)
+
+    def test_replace_adjusts_bytes(self):
+        s = InMemorySet(1000)
+        s.add(1, 100)
+        old = s.replace(1, 150)
+        assert old == 100
+        assert s.used_bytes == 150
+
+    def test_evict_oldest_is_fifo(self):
+        s = InMemorySet(1000)
+        s.add(1, 10)
+        s.add(2, 20)
+        assert s.evict_oldest() == (1, 10)
+        assert s.used_bytes == 20
+
+    def test_remove(self):
+        s = InMemorySet(1000)
+        s.add(1, 10)
+        assert s.remove(1) == 10
+        assert s.remove(1) is None
+        assert s.used_bytes == 0
+
+    def test_fill(self):
+        s = InMemorySet(200)
+        s.add(1, 50)
+        assert s.fill == 0.25
+
+
+class TestSetGroup:
+    @pytest.fixture
+    def sg(self):
+        return SetGroup(sg_id=0, sets_per_sg=4, set_size=1000)
+
+    def test_capacity(self, sg):
+        assert sg.capacity_bytes == 4000
+
+    def test_insert_accounts_new_bytes(self, sg):
+        assert sg.try_insert(0, 1, 300)
+        assert sg.new_bytes_in == 300
+        assert sg.writeback_bytes_in == 0
+        assert sg.fill_rate() == pytest.approx(300 / 4000)
+
+    def test_writeback_accounts_separately(self, sg):
+        assert sg.try_insert(1, 2, 400, writeback=True)
+        assert sg.new_bytes_in == 0
+        assert sg.writeback_bytes_in == 400
+        # WA-relevant fill excludes writeback bytes (paper §5.2).
+        assert sg.new_fill_rate() == 0.0
+        assert sg.fill_rate() == pytest.approx(0.1)
+
+    def test_update_counts_full_size_as_new(self, sg):
+        sg.try_insert(0, 1, 300)
+        sg.try_insert(0, 1, 300)
+        assert sg.new_bytes_in == 600
+        assert sg.used_bytes == 300
+
+    def test_full_set_refuses(self, sg):
+        assert sg.try_insert(0, 1, 900)
+        assert not sg.try_insert(0, 2, 200)
+        # Other sets unaffected.
+        assert sg.try_insert(1, 2, 200)
+
+    def test_sealed_refuses(self, sg):
+        sg.seal()
+        assert not sg.try_insert(0, 1, 100)
+
+    def test_evict_from_set_makes_room(self, sg):
+        sg.try_insert(0, 1, 500)
+        sg.try_insert(0, 2, 400)
+        evicted = sg.evict_from_set(0, 600)
+        assert (1, 500) in evicted
+        assert sg.try_insert(0, 3, 600)
+
+    def test_evicted_bytes_stay_in_new_accounting(self, sg):
+        """The WA denominator keeps early-evicted bytes (paper §5.2)."""
+        sg.try_insert(0, 1, 500)
+        sg.evict_from_set(0, 1000)
+        assert sg.new_bytes_in == 500
+
+    def test_find(self, sg):
+        sg.try_insert(2, 9, 123)
+        assert sg.find(2, 9) == 123
+        assert sg.find(2, 8) is None
+
+    def test_page_payloads_snapshot(self, sg):
+        sg.try_insert(0, 1, 100)
+        payloads = sg.page_payloads()
+        assert payloads[0] == {1: 100}
+        payloads[0][99] = 1  # mutating the snapshot is safe
+        assert sg.find(0, 99) is None
+
+    def test_bad_construction(self):
+        with pytest.raises(ConfigError):
+            SetGroup(0, 0, 100)
+        with pytest.raises(ConfigError):
+            SetGroup(0, 4, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    inserts=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 30), st.integers(1, 400)),
+        max_size=120,
+    )
+)
+def test_setgroup_byte_invariants(inserts):
+    """used <= capacity per set; fill accounting never goes negative."""
+    sg = SetGroup(0, 4, 1000)
+    for offset, key, size in inserts:
+        sg.try_insert(offset, key, size)
+    assert 0 <= sg.used_bytes <= sg.capacity_bytes
+    for s in sg.sets:
+        assert 0 <= s.used_bytes <= s.capacity
+        assert s.used_bytes == sum(s.objects.values())
+    assert sg.new_bytes_in >= sg.used_bytes  # evictions/updates only add

@@ -1,0 +1,70 @@
+"""Unit tests for the experiment registry and CLI."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, get_experiment
+from repro.experiments.__main__ import main as cli_main
+from repro.experiments.common import geometry, nemo_config, scale_params, twitter_trace
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        expected = {
+            "fig04",
+            "fig05",
+            "fig06",
+            "fig08",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+            "table6",
+            "appendixA",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_get_experiment_resolves(self):
+        exp = get_experiment("appendixA")
+        assert callable(exp.run)
+        assert exp.description
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+
+class TestCommonConfig:
+    def test_geometry_zones(self):
+        assert geometry(8).num_zones == 8
+
+    def test_scale_params(self):
+        geo, n = scale_params("small")
+        assert geo.num_zones > 0 and n > 0
+        with pytest.raises(ValueError):
+            scale_params("huge")
+
+    def test_trace_memoised(self):
+        a = twitter_trace(4000)
+        b = twitter_trace(4000)
+        assert a is b
+
+    def test_nemo_config_overrides(self):
+        cfg = nemo_config(cached_index_ratio=0.25)
+        assert cfg.cached_index_ratio == 0.25
+        assert cfg.flush_threshold == 8
+
+
+class TestCLI:
+    def test_list_mode(self, capsys):
+        assert cli_main([]) == 0
+        out = capsys.readouterr().out
+        assert "fig12" in out
+
+    def test_run_analytic_experiment(self, capsys):
+        assert cli_main(["appendixA"]) == 0
+        out = capsys.readouterr().out
+        assert "Appendix A" in out

@@ -1,0 +1,44 @@
+"""Background (async engine work) I/O handling in the device layer."""
+
+import pytest
+
+from repro.flash.geometry import FlashGeometry
+from repro.flash.latency import LatencyModel
+from repro.flash.zns import ZNSDevice
+
+
+@pytest.fixture
+def dev():
+    geo = FlashGeometry(
+        page_size=4096, pages_per_block=8, num_blocks=8, blocks_per_zone=1
+    )
+    return ZNSDevice(
+        geo, latency=LatencyModel(num_channels=2, read_cache_pages=0)
+    )
+
+
+class TestBackgroundReads:
+    def test_background_read_does_not_stall_foreground(self, dev):
+        dev.append_many(0, list("abcdefgh"))
+        t = dev.latency.timings
+        # A long chain of background reads on channel 0 (pages 0,2,4,6).
+        for page in (0, 2, 4, 6):
+            dev.read(page, now_us=0.0, background=True)
+        # Foreground read right behind the chain: bounded by the suspend
+        # floor, not the whole backlog.
+        _, lat = dev.read(2, now_us=1.0)
+        assert lat <= t.suspend_floor_us + t.read_us + t.transfer_us
+
+    def test_foreground_read_chain_queues_fully(self, dev):
+        dev.append_many(0, list("abcdefgh"))
+        t = dev.latency.timings
+        start = 1e6  # well past the initial programs' completion
+        for page in (0, 2, 4):
+            dev.read(page, now_us=start)
+        _, lat = dev.read(6, now_us=start)
+        assert lat >= 4 * t.read_us  # true queueing behind peers
+
+    def test_background_flag_counts_reads_normally(self, dev):
+        dev.append_many(0, ["x"])
+        dev.read(0, background=True)
+        assert dev.stats.host_read_ops == 1

@@ -1,0 +1,76 @@
+"""Unit tests for the raw NAND array state machine."""
+
+import pytest
+
+from repro.errors import DeviceError, ReadError
+from repro.flash.device import NandArray
+from repro.flash.geometry import FlashGeometry
+
+
+@pytest.fixture
+def nand():
+    geo = FlashGeometry(
+        page_size=4096, pages_per_block=4, num_blocks=4, blocks_per_zone=2
+    )
+    return NandArray(geo)
+
+
+class TestProgramRead:
+    def test_program_then_read_roundtrips_payload(self, nand):
+        nand.program(0, {"k": 1})
+        assert nand.read(0) == {"k": 1}
+
+    def test_double_program_rejected(self, nand):
+        nand.program(0, "a")
+        with pytest.raises(DeviceError):
+            nand.program(0, "b")
+
+    def test_read_unprogrammed_rejected(self, nand):
+        with pytest.raises(ReadError):
+            nand.read(0)
+
+    def test_counters(self, nand):
+        nand.program(0, "a")
+        nand.read(0)
+        nand.read(0)
+        assert nand.program_count == 1
+        assert nand.read_count == 2
+
+
+class TestErase:
+    def test_erase_block_clears_pages(self, nand):
+        for page in range(4):
+            nand.program(page, page)
+        nand.erase_block(0)
+        for page in range(4):
+            assert not nand.is_programmed(page)
+        # Pages can be programmed again after the erase.
+        nand.program(0, "again")
+        assert nand.read(0) == "again"
+
+    def test_erase_zone_clears_all_member_blocks(self, nand):
+        nand.program(0, "a")
+        nand.program(4, "b")  # second block, same zone
+        nand.erase_zone(0)
+        assert not nand.is_programmed(0)
+        assert not nand.is_programmed(4)
+
+    def test_erase_only_touches_target_block(self, nand):
+        nand.program(0, "a")
+        nand.program(4, "b")
+        nand.erase_block(0)
+        assert nand.read(4) == "b"
+
+    def test_wear_tracking(self, nand):
+        nand.erase_block(1)
+        nand.erase_block(1)
+        nand.erase_block(2)
+        assert nand.block_erases[1] == 2
+        assert nand.max_block_erases() == 2
+        assert nand.erase_count == 3
+
+    def test_programmed_pages_in_block(self, nand):
+        nand.program(0, "a")
+        nand.program(1, "b")
+        assert nand.programmed_pages_in_block(0) == 2
+        assert nand.programmed_pages_in_block(1) == 0

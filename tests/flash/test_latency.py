@@ -1,0 +1,120 @@
+"""Unit tests for the channel latency / interference model."""
+
+import pytest
+
+from repro.flash.latency import LatencyModel, NandTimings
+
+
+@pytest.fixture
+def model():
+    # Channel-behaviour tests disable the controller read buffer.
+    return LatencyModel(num_channels=4, timings=NandTimings(), read_cache_pages=0)
+
+
+class TestBasics:
+    def test_unloaded_read_latency(self, model):
+        t = model.timings
+        assert model.read(0, 0.0) == pytest.approx(t.read_us + t.transfer_us)
+
+    def test_unloaded_program_latency(self, model):
+        t = model.timings
+        assert model.program(0, 0.0) == pytest.approx(t.program_us + t.transfer_us)
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            LatencyModel(num_channels=0)
+
+    def test_channel_striping(self, model):
+        assert model.channel_of(0) == 0
+        assert model.channel_of(5) == 1
+        assert model.channel_of(4) == 0
+
+
+class TestInterference:
+    def test_read_behind_program_is_delayed(self, model):
+        """The Fig. 15 mechanism: a program stalls a following read."""
+        t = model.timings
+        model.program(0, 0.0)
+        delayed = model.read(0, 1.0)  # same channel, 1 µs later
+        clean = model.read(1, 1.0)  # different channel
+        assert delayed > clean
+
+    def test_program_suspend_bounds_the_stall(self, model):
+        """With suspend support, a read never waits a full program."""
+        t = model.timings
+        model.program(0, 0.0)
+        lat = model.read(0, 0.0)
+        assert lat <= t.suspend_floor_us + t.read_us + t.transfer_us
+
+    def test_reads_on_distinct_channels_overlap(self, model):
+        """Parallel candidate reads cost ~one read (Nemo §5.5)."""
+        t = model.timings
+        lat = model.read_many([0, 1, 2, 3], 0.0)
+        assert lat == pytest.approx(t.read_us + t.transfer_us)
+
+    def test_reads_on_same_channel_serialise(self, model):
+        t = model.timings
+        lat = model.read_many([0, 4], 0.0)  # both on channel 0
+        assert lat >= 2 * t.read_us
+
+    def test_batched_program_stripes(self, model):
+        """An 8-page batch on 4 channels costs ~2 program times."""
+        t = model.timings
+        lat = model.program_many(list(range(8)), 0.0)
+        assert lat == pytest.approx(2 * t.program_us + t.transfer_us)
+
+    def test_empty_batches_cost_nothing(self, model):
+        assert model.read_many([], 0.0) == 0.0
+        assert model.program_many([], 0.0) == 0.0
+
+
+class TestReadCache:
+    def test_repeat_read_served_from_buffer(self):
+        m = LatencyModel(num_channels=4, read_cache_pages=8)
+        first = m.read(0, 0.0)
+        second = m.read(0, 0.0)
+        assert second == m.timings.transfer_us
+        assert second < first
+
+    def test_lru_eviction(self):
+        m = LatencyModel(num_channels=4, read_cache_pages=2)
+        m.read(0, 0.0)
+        m.read(1, 0.0)
+        m.read(2, 0.0)  # evicts page 0
+        assert m.read(0, 1e9) > m.timings.transfer_us
+
+    def test_disabled_cache_always_hits_nand(self):
+        m = LatencyModel(num_channels=4, read_cache_pages=0)
+        t = m.timings
+        assert m.read(0, 0.0) >= t.read_us
+        assert m.read(0, 1e9) >= t.read_us
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(read_cache_pages=-1)
+
+
+class TestState:
+    def test_idle_after_quiescence(self, model):
+        model.program(0, 0.0)
+        assert not model.idle_at(1.0)
+        assert model.idle_at(1e9)
+
+    def test_reset_clears_channels(self, model):
+        model.program(0, 0.0)
+        model.reset()
+        assert model.idle_at(0.0)
+
+    def test_erase_suspendable_for_reads(self, model):
+        t = model.timings
+        model.erase(0, 0.0)
+        lat = model.read(0, 0.0)
+        # Erase-suspend: the read is bounded by the suspend floor.
+        assert lat <= t.suspend_floor_us + t.read_us + t.transfer_us
+
+    def test_erase_blocks_following_program(self, model):
+        t = model.timings
+        model.erase(0, 0.0)
+        lat = model.program(0, 0.0)
+        # Writes do not preempt erases.
+        assert lat >= t.erase_us

@@ -1,0 +1,87 @@
+"""Determinism: identical seeds produce identical runs.
+
+Reproducibility is a first-class property of this repository — every
+random choice (workload generation, Nemo's statistical false positives,
+the probabilistic flush policy) flows from explicit seeds, so two
+replays with the same configuration must agree bit-for-bit on every
+counter.
+"""
+
+import pytest
+
+from repro.baselines.fairywren import FairyWrenCache
+from repro.core.config import NemoConfig
+from repro.core.nemo import NemoCache
+from repro.flash.geometry import FlashGeometry
+from repro.harness.runner import replay
+from repro.workloads.mixer import merged_twitter_trace
+
+
+def geometry():
+    return FlashGeometry(
+        page_size=4096, pages_per_block=16, num_blocks=12, blocks_per_zone=1
+    )
+
+
+def run_nemo(seed):
+    cache = NemoCache(
+        geometry(),
+        NemoConfig(
+            flush_threshold=4,
+            sgs_per_index_group=2,
+            bf_capacity_per_set=20,
+            rng_seed=seed,
+        ),
+    )
+    trace = merged_twitter_trace(num_requests=30_000, wss_scale=1 / 1024, seed=5)
+    result = replay(cache, trace)
+    return cache, result
+
+
+class TestDeterminism:
+    def test_same_seed_identical_counters(self):
+        a_cache, a = run_nemo(seed=11)
+        b_cache, b = run_nemo(seed=11)
+        assert a.final == b.final
+        assert a_cache.fill_rates == b_cache.fill_rates
+        assert a_cache.false_positive_reads == b_cache.false_positive_reads
+
+    def test_different_fp_seed_changes_only_read_path(self):
+        """The FP draw seed must not leak into placement or WA."""
+        a_cache, a = run_nemo(seed=11)
+        b_cache, b = run_nemo(seed=12)
+        assert a_cache.fill_rates == b_cache.fill_rates
+        assert a.final["host_write_bytes"] == b.final["host_write_bytes"]
+        assert a.final["miss_ratio"] == b.final["miss_ratio"]
+
+    def test_trace_seed_changes_everything(self):
+        t1 = merged_twitter_trace(num_requests=1000, wss_scale=1 / 1024, seed=1)
+        t2 = merged_twitter_trace(num_requests=1000, wss_scale=1 / 1024, seed=2)
+        assert (t1.keys != t2.keys).any()
+
+    def test_fw_deterministic(self):
+        trace = merged_twitter_trace(num_requests=30_000, wss_scale=1 / 1024, seed=5)
+        finals = []
+        for _ in range(2):
+            engine = FairyWrenCache(geometry(), log_fraction=0.1, op_ratio=0.1)
+            finals.append(replay(engine, trace).final)
+        assert finals[0] == finals[1]
+
+
+class TestWearSpread:
+    def test_nemo_fifo_wears_zones_evenly(self):
+        """SG-pool FIFO rotation is naturally wear-levelling: no zone's
+        erase count runs far ahead of the others."""
+        cache, _ = run_nemo(seed=3)
+        geo = cache.geometry
+        erases = [
+            sum(
+                cache.device.nand.block_erases[b]
+                for b in range(
+                    z * geo.blocks_per_zone, (z + 1) * geo.blocks_per_zone
+                )
+            )
+            for z in range(cache.sg_zone_count)
+        ]
+        if max(erases) >= 3:
+            assert max(erases) - min(erases) <= max(erases) / 2 + 1

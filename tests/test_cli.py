@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro`` replay CLI."""
+
+import pytest
+
+from repro.cli import build_engine, main, make_parser
+from repro.flash.geometry import FlashGeometry
+
+
+class TestParser:
+    def test_defaults(self):
+        args = make_parser().parse_args([])
+        assert args.engine == "nemo"
+        assert args.requests == 200_000
+
+    def test_engine_choices(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["--engine", "bogus"])
+
+
+class TestBuildEngine:
+    @pytest.mark.parametrize("name", ["nemo", "log", "set", "fw", "kg"])
+    def test_all_engines_constructible(self, name):
+        geometry = FlashGeometry(
+            page_size=4096, pages_per_block=64, num_blocks=32, blocks_per_zone=4
+        )
+        args = make_parser().parse_args([])
+        engine = build_engine(name, geometry, args)
+        assert engine.object_count() == 0
+
+    def test_unknown_engine(self):
+        geometry = FlashGeometry()
+        args = make_parser().parse_args([])
+        with pytest.raises(ValueError):
+            build_engine("bogus", geometry, args)
+
+
+class TestEndToEnd:
+    def test_synthetic_replay(self, capsys):
+        rc = main(
+            ["--engine", "log", "--requests", "5000", "--zones", "4",
+             "--wss-scale", "0.0001"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "WA" in out and "Log" in out
+
+    def test_csv_replay(self, tmp_path, capsys):
+        csv = tmp_path / "trace.csv"
+        csv.write_text("0,k1,20,200,1,get,0\n1,k1,20,200,1,get,0\n" * 100)
+        rc = main(["--engine", "log", "--requests", "150", "--zones", "4",
+                   "--trace-csv", str(csv)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "trace" in out

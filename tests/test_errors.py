@@ -1,0 +1,41 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in (
+            "ConfigError",
+            "DeviceError",
+            "OutOfSpaceError",
+            "ZoneStateError",
+            "AlignmentError",
+            "ReadError",
+            "FTLError",
+            "CacheError",
+            "ObjectTooLargeError",
+            "EngineStateError",
+            "TraceError",
+        ):
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError), name
+
+    def test_value_error_compat(self):
+        """Config/size/trace errors double as ValueError for callers."""
+        assert issubclass(errors.ConfigError, ValueError)
+        assert issubclass(errors.ObjectTooLargeError, ValueError)
+        assert issubclass(errors.TraceError, ValueError)
+        assert issubclass(errors.AlignmentError, ValueError)
+
+    def test_device_family(self):
+        for name in ("OutOfSpaceError", "ZoneStateError", "ReadError", "FTLError"):
+            assert issubclass(getattr(errors, name), errors.DeviceError)
+
+    def test_catchable_as_family(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ZoneStateError("x")
+        with pytest.raises(errors.CacheError):
+            raise errors.ObjectTooLargeError("x")

@@ -1,0 +1,95 @@
+"""Unit tests for trace merging (§5.1 protocol)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.mixer import merged_twitter_trace, proportional_interleave
+from repro.workloads.trace import OP_GET, Trace
+
+
+def flat_trace(name, keys):
+    keys = np.asarray(keys)
+    return Trace(
+        ops=np.full(len(keys), OP_GET, dtype=np.uint8),
+        keys=keys,
+        sizes=np.full(len(keys), 100),
+        name=name,
+    )
+
+
+class TestInterleave:
+    def test_preserves_all_requests(self):
+        a = flat_trace("a", np.arange(10))
+        b = flat_trace("b", np.arange(100, 105))
+        mix = proportional_interleave([a, b])
+        assert len(mix) == 15
+        assert sorted(mix.keys) == sorted(list(range(10)) + list(range(100, 105)))
+
+    def test_preserves_per_trace_order(self):
+        a = flat_trace("a", [0, 1, 2, 3])
+        b = flat_trace("b", [100, 101])
+        mix = proportional_interleave([a, b])
+        a_positions = [k for k in mix.keys if k < 100]
+        b_positions = [k for k in mix.keys if k >= 100]
+        assert a_positions == [0, 1, 2, 3]
+        assert b_positions == [100, 101]
+
+    def test_no_long_runs(self):
+        """Equal-length inputs alternate — no workload-dominated period."""
+        a = flat_trace("a", np.zeros(50, dtype=int))
+        b = flat_trace("b", np.ones(50, dtype=int) * 999)
+        mix = proportional_interleave([a, b])
+        longest = run = 1
+        for prev, cur in zip(mix.keys, mix.keys[1:]):
+            run = run + 1 if (prev == cur) else 1
+            longest = max(longest, run)
+        assert longest <= 2
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(TraceError):
+            proportional_interleave([])
+        with pytest.raises(TraceError):
+            proportional_interleave([flat_trace("a", np.array([], dtype=int))])
+
+    def test_proportional_spread(self):
+        """A 3:1 mix keeps the minority spread across the whole trace."""
+        a = flat_trace("a", np.zeros(90, dtype=int))
+        b = flat_trace("b", np.ones(30, dtype=int))
+        mix = proportional_interleave([a, b])
+        b_positions = np.nonzero(mix.keys == 1)[0]
+        # The minority's first/last appearances are near the ends.
+        assert b_positions[0] < 10
+        assert b_positions[-1] > len(mix) - 10
+
+
+class TestMergedTwitter:
+    def test_disjoint_key_spaces(self):
+        mix = merged_twitter_trace(num_requests=8000, wss_scale=1 / 4096)
+        comps = mix.meta["components"]
+        assert len(comps) == 4
+
+    def test_mean_object_size_is_tiny(self):
+        mix = merged_twitter_trace(num_requests=20_000, wss_scale=1 / 2048)
+        assert 150 < mix.mean_request_size < 400
+
+    def test_deterministic(self):
+        a = merged_twitter_trace(num_requests=4000, seed=9)
+        b = merged_twitter_trace(num_requests=4000, seed=9)
+        assert np.array_equal(a.keys, b.keys)
+
+    def test_too_few_requests_rejected(self):
+        with pytest.raises(TraceError):
+            merged_twitter_trace(num_requests=2)
+
+    def test_all_clusters_continuously_present(self):
+        """Each quarter of the merged trace contains all four clusters."""
+        mix = merged_twitter_trace(num_requests=8000, wss_scale=1 / 4096)
+        # Key spaces are stacked: find cluster by key range boundaries.
+        quarters = np.array_split(np.arange(len(mix)), 4)
+        # Build the key-range boundaries from the merged key population.
+        keys = mix.keys
+        for q in quarters:
+            # With 4 interleaved clusters, any contiguous quarter spans
+            # a wide range of key ids across the stacked key spaces.
+            assert keys[q].max() - keys[q].min() > mix.num_keys * 0.3

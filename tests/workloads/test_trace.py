@@ -1,0 +1,88 @@
+"""Unit tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.trace import OP_GET, OP_SET, Trace
+
+
+def make_trace(n=10):
+    return Trace(
+        ops=np.full(n, OP_GET, dtype=np.uint8),
+        keys=np.arange(n),
+        sizes=np.full(n, 100),
+        name="t",
+    )
+
+
+class TestConstruction:
+    def test_length(self):
+        assert len(make_trace(7)) == 7
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(ops=np.zeros(3, dtype=np.uint8), keys=np.arange(2), sizes=np.ones(3))
+
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(
+                ops=np.zeros(2, dtype=np.uint8),
+                keys=np.arange(2),
+                sizes=np.array([10, 0]),
+            )
+
+    def test_num_keys_inferred(self):
+        t = make_trace(5)
+        assert t.num_keys == 5
+
+
+class TestStatistics:
+    def test_mean_object_size_over_distinct_keys(self):
+        t = Trace(
+            ops=np.zeros(3, dtype=np.uint8),
+            keys=np.array([1, 1, 2]),
+            sizes=np.array([100, 100, 300]),
+        )
+        assert t.mean_object_size == 200.0
+        assert t.mean_request_size == pytest.approx(500 / 3)
+
+    def test_working_set_counts_each_key_once(self):
+        t = Trace(
+            ops=np.zeros(4, dtype=np.uint8),
+            keys=np.array([1, 1, 2, 2]),
+            sizes=np.array([100, 100, 300, 300]),
+        )
+        assert t.working_set_bytes == 400
+        assert t.unique_key_count == 2
+
+    def test_op_mix(self):
+        t = Trace(
+            ops=np.array([OP_GET, OP_GET, OP_SET], dtype=np.uint8),
+            keys=np.arange(3),
+            sizes=np.ones(3),
+        )
+        mix = t.op_mix()
+        assert mix["get"] == pytest.approx(2 / 3)
+        assert mix["set"] == pytest.approx(1 / 3)
+
+    def test_describe_has_counts(self):
+        assert "10" in make_trace(10).describe()
+
+
+class TestViews:
+    def test_slice(self):
+        t = make_trace(10)
+        s = t.slice(2, 5)
+        assert len(s) == 3
+        assert list(s.keys) == [2, 3, 4]
+
+    def test_repeat(self):
+        t = make_trace(3)
+        r = t.repeat(3)
+        assert len(r) == 9
+        assert list(r.keys[:3]) == list(r.keys[3:6])
+
+    def test_repeat_rejects_zero(self):
+        with pytest.raises(TraceError):
+            make_trace(2).repeat(0)

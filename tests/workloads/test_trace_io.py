@@ -1,0 +1,47 @@
+"""Unit tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads.trace import OP_GET, Trace
+from repro.workloads.trace_io import load_trace, save_trace
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        ops=np.full(5, OP_GET, dtype=np.uint8),
+        keys=np.arange(5),
+        sizes=np.full(5, 123),
+        name="roundtrip",
+        meta={"zipf_alpha": 1.2},
+    )
+
+
+class TestRoundtrip:
+    def test_roundtrip_preserves_arrays(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "t.npz")
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.ops, trace.ops)
+        assert np.array_equal(loaded.keys, trace.keys)
+        assert np.array_equal(loaded.sizes, trace.sizes)
+
+    def test_roundtrip_preserves_metadata(self, trace, tmp_path):
+        loaded = load_trace(save_trace(trace, tmp_path / "t.npz"))
+        assert loaded.name == "roundtrip"
+        assert loaded.meta["zipf_alpha"] == 1.2
+        assert loaded.num_keys == trace.num_keys
+
+    def test_suffix_appended(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_creates_parent_dirs(self, trace, tmp_path):
+        path = save_trace(trace, tmp_path / "a" / "b" / "t.npz")
+        assert path.exists()
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "absent.npz")

@@ -1,0 +1,93 @@
+"""Unit + property tests for the Zipf key sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.workloads.zipf import ZipfGenerator, zipf_probabilities
+
+
+class TestProbabilities:
+    def test_sum_to_one(self):
+        p = zipf_probabilities(1000, 1.2)
+        assert p.sum() == pytest.approx(1.0)
+
+    def test_monotone_decreasing_by_rank(self):
+        p = zipf_probabilities(100, 0.9)
+        assert np.all(np.diff(p) <= 0)
+
+    def test_alpha_zero_is_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(TraceError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(TraceError):
+            zipf_probabilities(10, -1.0)
+
+
+class TestSampling:
+    def test_deterministic_with_seed(self):
+        a = ZipfGenerator(1000, 1.2, seed=7).sample(500)
+        b = ZipfGenerator(1000, 1.2, seed=7).sample(500)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = ZipfGenerator(1000, 1.2, seed=1).sample(500)
+        b = ZipfGenerator(1000, 1.2, seed=2).sample(500)
+        assert not np.array_equal(a, b)
+
+    def test_keys_in_universe(self):
+        keys = ZipfGenerator(100, 1.3, seed=0).sample(5000)
+        assert keys.min() >= 0
+        assert keys.max() < 100
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(TraceError):
+            ZipfGenerator(10, 1.0).sample(-1)
+
+    def test_pareto_8020_at_alpha_one(self):
+        """α ≈ 1 gives the classic 80/20 concentration the paper cites."""
+        gen = ZipfGenerator(100_000, 1.0, seed=0, shuffle=False)
+        share = gen.expected_top_share(0.2)
+        assert 0.7 < share < 0.95
+
+    def test_hotter_alpha_concentrates_more(self):
+        lo = ZipfGenerator(10_000, 0.8, seed=0).expected_top_share(0.1)
+        hi = ZipfGenerator(10_000, 1.3, seed=0).expected_top_share(0.1)
+        assert hi > lo
+
+    def test_empirical_matches_expected_share(self):
+        gen = ZipfGenerator(5_000, 1.2, seed=3, shuffle=False)
+        keys = gen.sample(200_000)
+        top_k = 500  # hottest 10 % of ranks (ranks = keys when unshuffled)
+        empirical = np.mean(keys < top_k)
+        assert empirical == pytest.approx(gen.expected_top_share(0.1), abs=0.02)
+
+    def test_shuffle_scatters_hot_keys(self):
+        """With shuffling, the hottest key is (almost surely) not rank 0."""
+        gen = ZipfGenerator(10_000, 1.2, seed=0, shuffle=True)
+        keys = gen.sample(50_000)
+        values, counts = np.unique(keys, return_counts=True)
+        hottest = values[counts.argmax()]
+        assert gen.rank_of_key(int(hottest)) == 0
+
+    def test_rank_of_unknown_key_rejected(self):
+        gen = ZipfGenerator(10, 1.0, seed=0)
+        with pytest.raises(TraceError):
+            gen.rank_of_key(10**9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    num_keys=st.integers(2, 2000),
+    alpha=st.floats(0.0, 2.0, allow_nan=False),
+)
+def test_sample_domain_property(num_keys, alpha):
+    gen = ZipfGenerator(num_keys, alpha, seed=1)
+    keys = gen.sample(256)
+    assert keys.min() >= 0
+    assert keys.max() < num_keys
