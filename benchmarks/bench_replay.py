@@ -1,0 +1,157 @@
+"""End-to-end replay-loop benchmarks (the harness hot path).
+
+Three targets replay the same micro merged-Twitter trace against a
+fresh ``LogStructuredCache``:
+
+- ``seed_reference`` — the original per-request loop (numpy scalar
+  boxing, per-request instrumentation branches), kept verbatim as the
+  baseline the fast lane is measured against;
+- ``fast_path`` — ``replay()`` with default options (no latency
+  recording): the chunked no-instrumentation lane;
+- ``instrumented`` — ``replay()`` with latency recording, window marks
+  and write-rate windows all enabled.
+
+``benchmarks/save_baseline.py`` records these as ``BENCH_replay.json``
+with the fast-path-over-seed speedup.  The fast/instrumented paths must
+also produce identical final metrics — asserted here and in
+``tests/harness/test_runner_paths.py``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.log_structured import LogStructuredCache
+from repro.harness.metrics import MetricSeries, WindowedRate
+from repro.harness.percentile import LatencyRecorder
+from repro.harness.runner import ReplayResult, replay
+from repro.workloads.mixer import merged_twitter_trace
+from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET
+
+NUM_REQUESTS = 120_000
+_TRACE = None
+
+
+def bench_trace():
+    global _TRACE
+    if _TRACE is None:
+        _TRACE = merged_twitter_trace(
+            num_requests=NUM_REQUESTS, wss_scale=1.0 / 512, seed=0
+        )
+    return _TRACE
+
+
+def bench_engine():
+    from repro.flash.geometry import FlashGeometry
+
+    return LogStructuredCache(
+        FlashGeometry(
+            page_size=4096, pages_per_block=64, num_blocks=48, blocks_per_zone=4
+        )
+    )
+
+
+def seed_reference_replay(
+    engine,
+    trace,
+    *,
+    sample_every=None,
+    arrival_rate=50_000.0,
+    record_latency=False,
+    write_rate_window_s=None,
+    mark_window_at=None,
+    sampled_metrics=("wa", "miss_ratio", "host_write_bytes"),
+) -> ReplayResult:
+    """The pre-fast-lane replay loop, verbatim (parity + bench baseline)."""
+    n = len(trace)
+    if sample_every is None:
+        sample_every = max(1, n // 64)
+    series = {m: MetricSeries(name=m) for m in sampled_metrics}
+    latency = LatencyRecorder()
+    write_rate = WindowedRate(write_rate_window_s) if write_rate_window_s else None
+    ops, keys, sizes = trace.ops, trace.keys, trace.sizes
+    step_us = 1e6 / arrival_rate
+
+    t0 = time.perf_counter()
+    now_us = 0.0
+    for i in range(n):
+        key = int(keys[i])
+        size = int(sizes[i])
+        op = ops[i]
+        if op == OP_GET:
+            result = engine.lookup(key, size, now_us=now_us)
+            if record_latency:
+                latency.record(result.latency_us)
+            if not result.hit:
+                engine.insert(key, size, now_us=now_us)
+        elif op == OP_SET:
+            engine.insert(key, size, now_us=now_us)
+        elif op == OP_DELETE:
+            engine.delete(key)
+        now_us += step_us
+
+        if mark_window_at is not None and i + 1 == mark_window_at:
+            latency.mark_window()
+        if (i + 1) % sample_every == 0 or i + 1 == n:
+            snap = engine.metrics_snapshot()
+            for m in sampled_metrics:
+                series[m].record(i + 1, snap.get(m, float("nan")))
+            if write_rate is not None:
+                write_rate.update(now_us / 1e6, snap["host_write_bytes"])
+    if write_rate is not None:
+        write_rate.finish(now_us / 1e6)
+
+    return ReplayResult(
+        engine_name=engine.name,
+        trace_name=trace.name,
+        num_requests=n,
+        final=engine.metrics_snapshot(),
+        series=series,
+        latency=latency,
+        write_rate=write_rate,
+        wall_seconds=time.perf_counter() - t0,
+        sim_seconds=now_us / 1e6,
+    )
+
+
+def _bench(benchmark, fn):
+    """A few timed rounds (replays are seconds-long; min is the signal)."""
+    return benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def _record_throughput(benchmark, result):
+    benchmark.extra_info["num_requests"] = result.num_requests
+    benchmark.extra_info["wa"] = result.wa
+    benchmark.extra_info["miss_ratio"] = result.miss_ratio
+
+
+def test_replay_seed_reference(benchmark):
+    trace = bench_trace()
+    result = _bench(
+        benchmark, lambda: seed_reference_replay(bench_engine(), trace)
+    )
+    _record_throughput(benchmark, result)
+
+
+def test_replay_fast_path(benchmark):
+    trace = bench_trace()
+    result = _bench(benchmark, lambda: replay(bench_engine(), trace))
+    _record_throughput(benchmark, result)
+    # The fast lane must agree with the seed loop exactly.
+    reference = seed_reference_replay(bench_engine(), trace)
+    assert result.final == reference.final
+
+
+def test_replay_instrumented(benchmark):
+    trace = bench_trace()
+    result = _bench(
+        benchmark,
+        lambda: replay(
+            bench_engine(),
+            trace,
+            record_latency=True,
+            write_rate_window_s=0.25,
+            mark_window_at=len(trace) // 2,
+        ),
+    )
+    _record_throughput(benchmark, result)

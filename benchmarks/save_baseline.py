@@ -1,0 +1,126 @@
+"""Record benchmark baselines as compact JSON.
+
+Runs the pytest-benchmark suites and distils their ``--benchmark-json``
+output into two small files at the repo root:
+
+- ``BENCH_core_ops.json`` — ops/sec for the data-path primitives
+  (engine insert/lookup, bloom add/query, zipf sampling, latency model);
+- ``BENCH_replay.json`` — end-to-end replay throughput (requests/sec)
+  for the seed-reference loop, the fast path and the instrumented path,
+  plus the fast-over-seed speedup the fast lane is accountable for.
+
+Usage::
+
+    python benchmarks/save_baseline.py            # both suites
+    python benchmarks/save_baseline.py --only replay
+
+Numbers are machine-dependent; the files exist to track the *trajectory*
+of the simulator's throughput across changes, not as portable truth.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Benchmarks whose per-call unit is one replayed request, not one call.
+_REPLAY_BENCHES = {
+    "test_replay_seed_reference",
+    "test_replay_fast_path",
+    "test_replay_instrumented",
+}
+
+
+def run_suite(bench_file: str) -> list[dict]:
+    """Run one benchmark file; return pytest-benchmark's records."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = Path(tmp.name)
+    try:
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                str(REPO_ROOT / "benchmarks" / bench_file),
+                "-q",
+                "--benchmark-json",
+                str(tmp_path),
+            ],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout + proc.stderr)
+            raise SystemExit(f"{bench_file} failed (exit {proc.returncode})")
+        return json.loads(tmp_path.read_text())["benchmarks"]
+    finally:
+        tmp_path.unlink(missing_ok=True)
+
+
+def summarise(records: list[dict]) -> dict[str, dict]:
+    """name -> {mean_s, min_s, ops_per_sec [, requests_per_sec]}."""
+    out: dict[str, dict] = {}
+    for record in records:
+        name = record["name"]
+        stats = record["stats"]
+        entry = {
+            "mean_s": stats["mean"],
+            "min_s": stats["min"],
+            "ops_per_sec": 1.0 / stats["min"] if stats["min"] else None,
+        }
+        extra = record.get("extra_info") or {}
+        if name in _REPLAY_BENCHES and "num_requests" in extra:
+            entry["requests_per_sec"] = extra["num_requests"] / stats["min"]
+            entry["extra_info"] = extra
+        out[name] = entry
+    return out
+
+
+def _write(path: Path, payload: dict) -> None:
+    payload["python"] = platform.python_version()
+    payload["platform"] = platform.platform()
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def save_core_ops() -> None:
+    benches = summarise(run_suite("bench_core_ops.py"))
+    _write(REPO_ROOT / "BENCH_core_ops.json", {"benchmarks": benches})
+
+
+def save_replay() -> None:
+    benches = summarise(run_suite("bench_replay.py"))
+    payload: dict = {"benchmarks": benches}
+    seed = benches.get("test_replay_seed_reference")
+    fast = benches.get("test_replay_fast_path")
+    if seed and fast:
+        payload["speedup_fast_over_seed"] = seed["min_s"] / fast["min_s"]
+    _write(REPO_ROOT / "BENCH_replay.json", payload)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--only",
+        choices=["core_ops", "replay"],
+        default=None,
+        help="record just one suite (default: both)",
+    )
+    args = parser.parse_args(argv)
+    if args.only in (None, "core_ops"):
+        save_core_ops()
+    if args.only in (None, "replay"):
+        save_replay()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from repro.flash.stats import FlashStats
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LookupResult:
     """Outcome of one lookup.
 
@@ -88,11 +88,11 @@ class CacheEngine(abc.ABC):
     # Core operations
     # ------------------------------------------------------------------
     @abc.abstractmethod
-    def lookup(self, key: int, size: int, *, now_us: float = 0.0) -> LookupResult:
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> LookupResult:
         """Look ``key`` up; never mutates flash placement."""
 
     @abc.abstractmethod
-    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> None:
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
         """Admit object ``key`` of ``size`` bytes."""
 
     def delete(self, key: int) -> bool:

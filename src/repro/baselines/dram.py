@@ -102,7 +102,7 @@ class TieredCache(CacheEngine):
         self.flash = flash
         self.name = f"DRAM+{flash.name}"
 
-    def lookup(self, key: int, size: int, *, now_us: float = 0.0) -> LookupResult:
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> LookupResult:
         self.counters.lookups += 1
         cached = self.dram.get(key)
         if cached is not None:
@@ -114,7 +114,7 @@ class TieredCache(CacheEngine):
             self._admit_to_dram(key, size, now_us=now_us)
         return result
 
-    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> None:
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
         self.record_admission(size)
         self._admit_to_dram(key, size, now_us=now_us)
 

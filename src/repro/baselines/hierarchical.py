@@ -118,7 +118,7 @@ class HierarchicalCacheBase(CacheEngine):
     # ------------------------------------------------------------------
     # CacheEngine API
     # ------------------------------------------------------------------
-    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> None:
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
         self.record_admission(size)
         if self.hlog.insert(key, size, now_us=now_us):
             return
@@ -129,7 +129,7 @@ class HierarchicalCacheBase(CacheEngine):
                 "the log region is too small for this object size"
             )
 
-    def lookup(self, key: int, size: int, *, now_us: float = 0.0) -> LookupResult:
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> LookupResult:
         self.counters.lookups += 1
         entry = self.hlog.find(key)
         if entry is not None:

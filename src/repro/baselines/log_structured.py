@@ -27,6 +27,12 @@ from repro.flash.zns import ZNSDevice
 #: (64 b); hotness is optional and omitted here.
 INDEX_BITS_PER_OBJECT = 29 + 29 + 64
 
+#: LookupResult is frozen, so the constant outcomes are shared instances
+#: instead of per-lookup allocations (lookup is the replay hot path).
+_MISS = LookupResult(hit=False)
+_BUFFER_HIT = LookupResult(hit=True, source="memory")
+_FLASH_HIT_NO_LATENCY = LookupResult(hit=True, flash_reads=1, source="flash")
+
 
 class LogStructuredCache(CacheEngine):
     """Append-only flash cache with an exact DRAM index.
@@ -73,36 +79,45 @@ class LogStructuredCache(CacheEngine):
     # ------------------------------------------------------------------
     # CacheEngine API
     # ------------------------------------------------------------------
-    def lookup(self, key: int, size: int, *, now_us: float = 0.0) -> LookupResult:
-        self.counters.lookups += 1
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> LookupResult:
+        counters = self.counters
+        counters.lookups += 1
         entry = self._index.get(key)
         if entry is None:
-            return LookupResult(hit=False)
+            return _MISS
         page, obj_size = entry
-        self.counters.hits += 1
-        self.stats.record_logical_read(obj_size)
+        counters.hits += 1
+        # Inlined stats.record_logical_read (sizes are validated positive
+        # at trace construction; this runs once per hit).
+        self.stats.logical_read_bytes += obj_size
         if page < 0:  # still in the write buffer
-            return LookupResult(hit=True, source="memory")
-        _, lat = self.device.read(page, now_us=now_us)
+            return _BUFFER_HIT
+        device = self.device
+        if device.latency is None:
+            device.read_page(page)
+            return _FLASH_HIT_NO_LATENCY
+        _, lat = device.read(page, now_us=now_us)
         return LookupResult(hit=True, latency_us=lat, flash_reads=1, source="flash")
 
-    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> None:
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        page_size = self.geometry.page_size
         stored = size + self.object_header_bytes
-        if stored > self.geometry.page_size:
+        if stored > page_size:
             raise ObjectTooLargeError(
                 f"object of {size} B (+{self.object_header_bytes} B header) "
-                f"exceeds the {self.geometry.page_size} B page"
+                f"exceeds the {page_size} B page"
             )
-        if key in self._index:
+        index = self._index
+        if key in index:
             # Update: drop the stale copy from the index; the old flash
             # bytes die in place and vanish when their zone is reset.
-            self._remove_index_entry(key)
+            del index[key]
         self.record_admission(size)
-        if self._buffer_bytes + stored > self.geometry.page_size:
+        if self._buffer_bytes + stored > page_size:
             self._flush_buffer(now_us=now_us)
         self._buffer.append((key, size))
         self._buffer_bytes += stored
-        self._index[key] = (-1, size)
+        index[key] = (-1, size)
 
     def delete(self, key: int) -> bool:
         if key not in self._index:

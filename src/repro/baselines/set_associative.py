@@ -75,7 +75,7 @@ class SetAssociativeCache(CacheEngine):
     def _set_of(self, key: int) -> int:
         return bucket_of(key, self.num_sets, seed=self.hash_seed)
 
-    def lookup(self, key: int, size: int, *, now_us: float = 0.0) -> LookupResult:
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> LookupResult:
         self.counters.lookups += 1
         sid = self._set_of(key)
         sset = self._sets[sid]
@@ -87,7 +87,7 @@ class SetAssociativeCache(CacheEngine):
         self.stats.record_logical_read(sset.objects[key])
         return LookupResult(hit=True, latency_us=lat, flash_reads=1, source="flash")
 
-    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> None:
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
         if size > self.geometry.page_size:
             raise ObjectTooLargeError(
                 f"object of {size} B exceeds the {self.geometry.page_size} B set"

@@ -212,7 +212,7 @@ class NemoCache(CacheEngine):
     # ------------------------------------------------------------------
     # CacheEngine API
     # ------------------------------------------------------------------
-    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> None:
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
         if size > self.set_size:
             raise ObjectTooLargeError(
                 f"object of {size} B exceeds the {self.set_size} B set"
@@ -237,7 +237,7 @@ class NemoCache(CacheEngine):
         if not self.queue.try_insert(offset, key, size):
             raise EngineStateError("insert failed after flushing the front SG")
 
-    def lookup(self, key: int, size: int, *, now_us: float = 0.0) -> LookupResult:
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> LookupResult:
         self.counters.lookups += 1
         offset = self._offset(key)
 

@@ -5,6 +5,12 @@ Usage::
     python -m repro.experiments                 # list experiments
     python -m repro.experiments fig12 table6    # run selected (small)
     python -m repro.experiments --scale full all
+    python -m repro.experiments -j 4 fig12      # fan cells over 4 workers
+
+``--jobs`` parallelises across processes at the *cell* level (one
+independent configuration of one experiment per job).  Results are
+deterministic: any jobs value produces byte-identical metrics to a
+serial run — see DESIGN.md §5.
 """
 
 from __future__ import annotations
@@ -13,7 +19,13 @@ import argparse
 import sys
 import time
 
-from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    get_experiment,
+    run_experiment,
+    run_experiments,
+)
+from repro.harness.parallel import default_jobs
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -32,6 +44,16 @@ def main(argv: list[str] | None = None) -> int:
         default="small",
         help="small = seconds per experiment; full = EXPERIMENTS.md scale",
     )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for independent experiment cells "
+            f"(default: cpu_count-1 = {default_jobs()}; 1 = serial)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if not args.experiments:
@@ -41,11 +63,29 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     targets = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    jobs = default_jobs() if args.jobs is None else max(1, args.jobs)
+
+    if jobs > 1 and len(targets) > 1:
+        # Pool every cell of every experiment into one executor so
+        # independent experiments run concurrently too.
+        t0 = time.perf_counter()
+        results = run_experiments(targets, scale=args.scale, jobs=jobs)
+        for exp_id, result in zip(targets, results):
+            exp = get_experiment(exp_id)
+            print(f"=== {exp_id}: {exp.description} (scale={args.scale}) ===")
+            print(result.format())
+            print()
+        print(
+            f"[{len(targets)} experiments took "
+            f"{time.perf_counter() - t0:.1f}s with jobs={jobs}]"
+        )
+        return 0
+
     for exp_id in targets:
         exp = get_experiment(exp_id)
         print(f"=== {exp_id}: {exp.description} (scale={args.scale}) ===")
         t0 = time.perf_counter()
-        result = exp.run(scale=args.scale)
+        result = run_experiment(exp_id, scale=args.scale, jobs=jobs)
         print(result.format())
         print(f"[{exp_id} took {time.perf_counter() - t0:.1f}s]\n")
     return 0

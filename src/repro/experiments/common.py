@@ -17,6 +17,8 @@ which ``nemo_config`` uses.  The fig18 sweep covers the full range.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.core.config import NemoConfig
 from repro.flash.geometry import FlashGeometry
 from repro.workloads.mixer import merged_twitter_trace
@@ -53,7 +55,11 @@ def standard_geometry() -> FlashGeometry:
     return geometry(24)
 
 
-_TRACE_CACHE: dict[tuple, Trace] = {}
+#: LRU-bounded: ``python -m repro.experiments all`` touches many
+#: (num_requests, wss_scale, seed) combinations and a full-scale trace
+#: is tens of MB of numpy arrays; keep only the most recent few.
+_TRACE_CACHE: OrderedDict[tuple, Trace] = OrderedDict()
+_TRACE_CACHE_MAX = 4
 
 
 def twitter_trace(
@@ -61,11 +67,17 @@ def twitter_trace(
 ) -> Trace:
     """Memoised merged Twitter trace (experiments share identical input)."""
     key = (num_requests, wss_scale, seed)
-    if key not in _TRACE_CACHE:
-        _TRACE_CACHE[key] = merged_twitter_trace(
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = merged_twitter_trace(
             num_requests=num_requests, wss_scale=wss_scale, seed=seed
         )
-    return _TRACE_CACHE[key]
+        _TRACE_CACHE[key] = trace
+        while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+            _TRACE_CACHE.popitem(last=False)
+    else:
+        _TRACE_CACHE.move_to_end(key)
+    return trace
 
 
 def scale_params(scale: str) -> tuple[FlashGeometry, int]:

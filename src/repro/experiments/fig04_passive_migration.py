@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines.fairywren import FairyWrenCache
 from repro.experiments.common import scale_params, twitter_trace
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.report import cdf_from_counter, format_table
 from repro.workloads.trace import OP_GET, OP_SET
 
@@ -90,21 +91,42 @@ def _replay_with_early_snapshot(engine, trace) -> Counter:
     return early if early is not None else Counter(engine.hset.passive_hist)
 
 
-def run(scale: str = "small") -> Fig04Result:
+def _config_cell(
+    scale: str, label: str, log_fraction: float, op_ratio: float
+) -> dict:
+    """Replay one FW configuration; return histograms + model numbers."""
     geometry, num_requests = scale_params(scale)
     trace = twitter_trace(num_requests)
-    mean_obj = trace.mean_request_size
-    result = Fig04Result()
+    engine = FairyWrenCache(
+        geometry, log_fraction=log_fraction, op_ratio=op_ratio
+    )
+    early_hist = _replay_with_early_snapshot(engine, trace)
+    model = engine.model(trace.mean_request_size)
+    return {
+        "label": label,
+        "early_hist": early_hist,
+        "steady_hist": Counter(engine.hset.passive_hist),
+        "l2swa_p_measured": engine.hset.l2swa("passive"),
+        "l2swa_p_model": model.l2swa_passive,
+    }
 
-    for cfg in CONFIGS:
-        engine = FairyWrenCache(
-            geometry, log_fraction=cfg.log_fraction, op_ratio=cfg.op_ratio
+
+def cells(scale: str) -> list[Cell]:
+    return [
+        Cell(
+            f"fig04/{cfg.label}",
+            _config_cell,
+            (scale, cfg.label, cfg.log_fraction, cfg.op_ratio),
         )
-        early_hist = _replay_with_early_snapshot(engine, trace)
-        model = engine.model(mean_obj)
+        for cfg in CONFIGS
+    ]
 
-        phases = [("early", early_hist), ("steady", engine.hset.passive_hist)]
-        if cfg.label != "Log5-OP5":
+
+def assemble(payloads: list[dict]) -> Fig04Result:
+    result = Fig04Result()
+    for p in payloads:
+        phases = [("early", p["early_hist"]), ("steady", p["steady_hist"])]
+        if p["label"] != "Log5-OP5":
             phases = phases[1:]  # the paper splits phases only for the default
         for phase, hist in phases:
             cdf = cdf_from_counter(hist)
@@ -112,23 +134,27 @@ def run(scale: str = "small") -> Fig04Result:
             mean = (
                 sum(k * v for k, v in hist.items()) / total if total else float("nan")
             )
-            result.cdfs[f"{cfg.label}/{phase}"] = cdf
+            result.cdfs[f"{p['label']}/{phase}"] = cdf
             result.rows.append(
                 {
-                    "config": cfg.label,
+                    "config": p["label"],
                     "phase": phase,
                     "p_le3": max(
-                        (p for v, p in cdf if v <= 3), default=0.0
+                        (pp for v, pp in cdf if v <= 3), default=0.0
                     ),
                     "p_le4": max(
-                        (p for v, p in cdf if v <= 4), default=0.0
+                        (pp for v, pp in cdf if v <= 4), default=0.0
                     ),
                     "mean_objs": mean,
-                    "l2swa_p_measured": engine.hset.l2swa("passive"),
-                    "l2swa_p_model": model.l2swa_passive,
+                    "l2swa_p_measured": p["l2swa_p_measured"],
+                    "l2swa_p_model": p["l2swa_p_model"],
                 }
             )
     return result
+
+
+def run(scale: str = "small", jobs: int | None = 1) -> Fig04Result:
+    return assemble(run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

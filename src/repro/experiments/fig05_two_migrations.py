@@ -18,10 +18,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from collections import Counter
+
 from repro.baselines.fairywren import FairyWrenCache
 from repro.experiments.common import scale_params, twitter_trace
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.report import cdf_from_counter, format_table, mean_from_counter
 from repro.harness.runner import replay
+
+#: (label, log_fraction) for the two configurations the figure compares.
+CONFIGS = [("Log5-OP5", 0.05), ("Log10-OP5", 0.10)]
 
 
 @dataclass
@@ -58,38 +64,58 @@ class Fig05Result:
         return "Figure 5: passive vs active migration\n" + table
 
 
-def run(scale: str = "small") -> Fig05Result:
+def _config_cell(scale: str, label: str, log_fraction: float) -> dict:
     geometry, num_requests = scale_params(scale)
     trace = twitter_trace(num_requests)
-    mean_obj = trace.mean_request_size
-    result = Fig05Result()
+    engine = FairyWrenCache(geometry, log_fraction=log_fraction, op_ratio=0.05)
+    replay(engine, trace)
+    hs = engine.hset
+    model = engine.model(trace.mean_request_size)
+    return {
+        "label": label,
+        "passive_hist": Counter(hs.passive_hist),
+        "active_hist": Counter(hs.active_hist),
+        "l2swa_p": hs.l2swa("passive"),
+        "l2swa_a": hs.l2swa("active"),
+        "model_p_mean": model.measured_passive_mean_objects,
+        "model_a_mean": model.measured_active_mean_objects,
+    }
 
-    for label, log_fraction in [("Log5-OP5", 0.05), ("Log10-OP5", 0.10)]:
-        engine = FairyWrenCache(geometry, log_fraction=log_fraction, op_ratio=0.05)
-        replay(engine, trace)
-        hs = engine.hset
-        model = engine.model(mean_obj)
-        result.cdfs[f"{label}/passive"] = cdf_from_counter(hs.passive_hist)
-        result.cdfs[f"{label}/active"] = cdf_from_counter(hs.active_hist)
-        mean_p = mean_from_counter(hs.passive_hist)
-        mean_a = mean_from_counter(hs.active_hist)
+
+def cells(scale: str) -> list[Cell]:
+    return [
+        Cell(f"fig05/{label}", _config_cell, (scale, label, log_fraction))
+        for label, log_fraction in CONFIGS
+    ]
+
+
+def assemble(payloads: list[dict]) -> Fig05Result:
+    result = Fig05Result()
+    for p in payloads:
+        label = p["label"]
+        result.cdfs[f"{label}/passive"] = cdf_from_counter(p["passive_hist"])
+        result.cdfs[f"{label}/active"] = cdf_from_counter(p["active_hist"])
         result.rows.append(
             {
                 "config": label,
-                "mean_passive": mean_p,
-                "mean_active": mean_a,
-                "l2swa_p": hs.l2swa("passive"),
-                "l2swa_a": hs.l2swa("active"),
+                "mean_passive": mean_from_counter(p["passive_hist"]),
+                "mean_active": mean_from_counter(p["active_hist"]),
+                "l2swa_p": p["l2swa_p"],
+                "l2swa_a": p["l2swa_a"],
                 "ratio": (
-                    hs.l2swa("active") / hs.l2swa("passive")
-                    if hs.l2swa("passive") == hs.l2swa("passive")
+                    p["l2swa_a"] / p["l2swa_p"]
+                    if p["l2swa_p"] == p["l2swa_p"]
                     else float("nan")
                 ),
-                "model_p_mean": model.measured_passive_mean_objects,
-                "model_a_mean": model.measured_active_mean_objects,
+                "model_p_mean": p["model_p_mean"],
+                "model_a_mean": p["model_a_mean"],
             }
         )
     return result
+
+
+def run(scale: str = "small", jobs: int | None = 1) -> Fig05Result:
+    return assemble(run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.baselines.fairywren import FairyWrenCache
 from repro.experiments.common import scale_params, twitter_trace
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.report import format_table
 from repro.harness.runner import replay
 
@@ -40,21 +41,34 @@ class Fig06Result:
         return "Figure 6: OP-ratio impact on passive migration share p\n" + table
 
 
-def run(scale: str = "small") -> Fig06Result:
+def _op_cell(scale: str, op: float) -> dict:
     geometry, num_requests = scale_params(scale)
     trace = twitter_trace(num_requests)
-    result = Fig06Result()
+    engine = FairyWrenCache(geometry, log_fraction=0.05, op_ratio=op)
+    r = replay(engine, trace, sampled_metrics=("p_fraction", "wa"))
+    return {
+        "op": op,
+        "final_p": engine.p_fraction,
+        "series": r.series["p_fraction"].as_rows(),
+    }
 
-    for op in OP_RATIOS:
-        engine = FairyWrenCache(geometry, log_fraction=0.05, op_ratio=op)
-        r = replay(
-            engine,
-            trace,
-            sampled_metrics=("p_fraction", "wa"),
-        )
-        result.final_p[op] = engine.p_fraction
-        result.p_series[op] = r.series["p_fraction"].as_rows()
+
+def cells(scale: str) -> list[Cell]:
+    return [
+        Cell(f"fig06/op{op:.0%}", _op_cell, (scale, op)) for op in OP_RATIOS
+    ]
+
+
+def assemble(payloads: list[dict]) -> Fig06Result:
+    result = Fig06Result()
+    for p in payloads:
+        result.final_p[p["op"]] = p["final_p"]
+        result.p_series[p["op"]] = p["series"]
     return result
+
+
+def run(scale: str = "small", jobs: int | None = 1) -> Fig06Result:
+    return assemble(run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

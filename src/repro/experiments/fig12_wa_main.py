@@ -20,6 +20,7 @@ from repro.baselines.log_structured import LogStructuredCache
 from repro.baselines.set_associative import SetAssociativeCache
 from repro.core.nemo import NemoCache
 from repro.experiments.common import nemo_config, scale_params, twitter_trace
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.report import format_table
 from repro.harness.runner import replay
 
@@ -70,42 +71,70 @@ def build_engines(geometry):
     ]
 
 
-def run(scale: str = "small") -> Fig12Result:
+#: The Fig. 12b FW variants.
+VARIANTS = [
+    ("FW Log20-OP5", {"log_fraction": 0.20, "op_ratio": 0.05}),
+    ("FW Log5-OP50", {"log_fraction": 0.05, "op_ratio": 0.50}),
+]
+
+
+def _main_cell(scale: str, engine_index: int) -> dict:
+    """Replay one Table 4 engine (spawn-safe: trace is regenerated)."""
     geometry, num_requests = scale_params(scale)
     trace = twitter_trace(num_requests)
+    engine = build_engines(geometry)[engine_index]
+    r = replay(engine, trace)
+    return {
+        "engine": engine.name,
+        "wa": engine.write_amplification,
+        "paper_wa": PAPER_WA[engine.name],
+        "miss": r.miss_ratio,
+        "mem_bits": engine.memory_overhead_bits_per_object(),
+        "read_amp": engine.stats.read_amplification,
+    }
+
+
+def _variant_cell(scale: str, label: str, log_fraction: float, op_ratio: float) -> dict:
+    geometry, num_requests = scale_params(scale)
+    trace = twitter_trace(num_requests)
+    engine = FairyWrenCache(geometry, log_fraction=log_fraction, op_ratio=op_ratio)
+    replay(engine, trace)
+    return {
+        "config": label,
+        "wa": engine.write_amplification,
+        "paper_wa": PAPER_WA_VARIANTS[label],
+    }
+
+
+def cells(scale: str) -> list[Cell]:
+    main = [
+        Cell(f"fig12a/{name}", _main_cell, (scale, i))
+        for i, name in enumerate(PAPER_WA)
+    ]
+    variants = [
+        Cell(
+            f"fig12b/{label}",
+            _variant_cell,
+            (scale, label, kw["log_fraction"], kw["op_ratio"]),
+        )
+        for label, kw in VARIANTS
+    ]
+    return main + variants
+
+
+def assemble(payloads: list[dict]) -> Fig12Result:
     result = Fig12Result()
-
-    for engine in build_engines(geometry):
-        r = replay(engine, trace)
-        result.main_rows.append(
-            {
-                "engine": engine.name,
-                "wa": engine.write_amplification,
-                "paper_wa": PAPER_WA[engine.name],
-                "miss": r.miss_ratio,
-                "mem_bits": engine.memory_overhead_bits_per_object(),
-                "read_amp": engine.stats.read_amplification,
-            }
-        )
-
-    for label, kwargs in [
-        ("FW Log20-OP5", {"log_fraction": 0.20, "op_ratio": 0.05}),
-        ("FW Log5-OP50", {"log_fraction": 0.05, "op_ratio": 0.50}),
-    ]:
-        engine = FairyWrenCache(geometry, **kwargs)
-        replay(engine, trace)
-        result.variant_rows.append(
-            {
-                "config": label,
-                "wa": engine.write_amplification,
-                "paper_wa": PAPER_WA_VARIANTS[label],
-            }
-        )
+    result.main_rows = payloads[: len(PAPER_WA)]
+    result.variant_rows = payloads[len(PAPER_WA) :]
     nemo_row = next(r for r in result.main_rows if r["engine"] == "Nemo")
     result.variant_rows.append(
         {"config": "Nemo", "wa": nemo_row["wa"], "paper_wa": PAPER_WA["Nemo"]}
     )
     return result
+
+
+def run(scale: str = "small", jobs: int | None = 1) -> Fig12Result:
+    return assemble(run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

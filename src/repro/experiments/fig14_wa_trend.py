@@ -22,8 +22,17 @@ from dataclasses import dataclass, field
 from repro.baselines.fairywren import FairyWrenCache
 from repro.core.nemo import NemoCache
 from repro.experiments.common import nemo_config, scale_params, twitter_trace
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.report import format_table
 from repro.harness.runner import replay
+
+#: (display name, FW log_fraction, FW op_ratio); None = Nemo.
+SYSTEMS = [
+    ("Nemo", None, None),
+    ("FW Log5-OP5", 0.05, 0.05),
+    ("FW Log20-OP5", 0.20, 0.05),
+    ("FW Log5-OP50", 0.05, 0.50),
+]
 
 
 @dataclass
@@ -54,24 +63,43 @@ def _first_knee(series: list[tuple[float, float]], threshold: float = 2.0) -> fl
     return float("nan")
 
 
-def run(scale: str = "small") -> Fig14Result:
+def _system_cell(
+    scale: str, name: str, log_fraction: float | None, op_ratio: float | None
+) -> dict:
     geometry, num_requests = scale_params(scale)
     trace = twitter_trace(num_requests)
-    result = Fig14Result()
+    if log_fraction is None:
+        engine = NemoCache(geometry, nemo_config())
+    else:
+        engine = FairyWrenCache(
+            geometry, log_fraction=log_fraction, op_ratio=op_ratio
+        )
+    r = replay(engine, trace, sample_every=max(1, num_requests // 256))
+    return {
+        "name": name,
+        "series": r.series["wa"].as_rows(),
+        "final_wa": engine.write_amplification,
+    }
 
-    systems = [
-        ("Nemo", NemoCache(geometry, nemo_config())),
-        ("FW Log5-OP5", FairyWrenCache(geometry, log_fraction=0.05, op_ratio=0.05)),
-        ("FW Log20-OP5", FairyWrenCache(geometry, log_fraction=0.20, op_ratio=0.05)),
-        ("FW Log5-OP50", FairyWrenCache(geometry, log_fraction=0.05, op_ratio=0.50)),
+
+def cells(scale: str) -> list[Cell]:
+    return [
+        Cell(f"fig14/{name}", _system_cell, (scale, name, lf, op))
+        for name, lf, op in SYSTEMS
     ]
-    for name, engine in systems:
-        r = replay(engine, trace, sample_every=max(1, num_requests // 256))
-        series = r.series["wa"].as_rows()
-        result.wa_series[name] = series
-        result.final_wa[name] = engine.write_amplification
-        result.first_knee_ops[name] = _first_knee(series)
+
+
+def assemble(payloads: list[dict]) -> Fig14Result:
+    result = Fig14Result()
+    for p in payloads:
+        result.wa_series[p["name"]] = p["series"]
+        result.final_wa[p["name"]] = p["final_wa"]
+        result.first_knee_ops[p["name"]] = _first_knee(p["series"])
     return result
+
+
+def run(scale: str = "small", jobs: int | None = 1) -> Fig14Result:
+    return assemble(run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.core.nemo import NemoCache
 from repro.experiments.common import nemo_config, scale_params, twitter_trace
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.report import format_table
 from repro.harness.runner import replay
 
@@ -53,29 +54,37 @@ class Fig18Result:
         return "Figure 18: flush-threshold (p_th) sensitivity\n" + table
 
 
-def run(scale: str = "small") -> Fig18Result:
+def _pth_cell(scale: str, pth: int) -> dict:
     geometry, num_requests = scale_params(scale)
     trace = twitter_trace(num_requests)
-    result = Fig18Result()
+    engine = NemoCache(geometry, nemo_config(flush_threshold=pth))
+    r = replay(engine, trace)
+    flushes = max(1, len(engine.fill_rates))
+    new_objs = engine.counters.inserts - engine.writeback_objects
+    evicted = engine.early_evicted_objects
+    return {
+        "pth": pth,
+        "fill": engine.mean_fill_rate(),
+        "wa": engine.write_amplification,
+        "new_per_flush": new_objs / flushes,
+        "evicted_per_flush": evicted / flushes,
+        "profit": new_objs / evicted if evicted else float("inf"),
+        "miss": r.miss_ratio,
+    }
 
-    for pth in THRESHOLDS:
-        engine = NemoCache(geometry, nemo_config(flush_threshold=pth))
-        r = replay(engine, trace)
-        flushes = max(1, len(engine.fill_rates))
-        new_objs = engine.counters.inserts - engine.writeback_objects
-        evicted = engine.early_evicted_objects
-        result.rows.append(
-            {
-                "pth": pth,
-                "fill": engine.mean_fill_rate(),
-                "wa": engine.write_amplification,
-                "new_per_flush": new_objs / flushes,
-                "evicted_per_flush": evicted / flushes,
-                "profit": new_objs / evicted if evicted else float("inf"),
-                "miss": r.miss_ratio,
-            }
-        )
-    return result
+
+def cells(scale: str) -> list[Cell]:
+    return [
+        Cell(f"fig18/pth{pth}", _pth_cell, (scale, pth)) for pth in THRESHOLDS
+    ]
+
+
+def assemble(payloads: list[dict]) -> Fig18Result:
+    return Fig18Result(rows=list(payloads))
+
+
+def run(scale: str = "small", jobs: int | None = 1) -> Fig18Result:
+    return assemble(run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.core.nemo import NemoCache
 from repro.experiments.common import nemo_config, scale_params, twitter_trace
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.report import format_table
 from repro.harness.runner import replay
 from repro.hashing import splitmix64_array
@@ -67,23 +68,45 @@ def set_access_top_share(
     return float(top.sum() / counts.sum())
 
 
-def run(scale: str = "small") -> Fig19Result:
-    geometry, num_requests = scale_params(scale)
-    result = Fig19Result()
-
-    # (a) per-cluster hashed-offset skew.
+def _cluster_cell(scale: str, name: str) -> dict:
+    """(a) hashed-offset skew of one Twitter cluster."""
+    _, num_requests = scale_params(scale)
     per_cluster = max(50_000, num_requests // 4)
-    for name in sorted(TWITTER_CLUSTERS):
-        t = generate_cluster_trace(name, num_requests=per_cluster, seed=11)
-        result.top30_share[name] = set_access_top_share(t.keys)
+    t = generate_cluster_trace(name, num_requests=per_cluster, seed=11)
+    return {"cluster": name, "share": set_access_top_share(t.keys)}
 
-    # (b) index-pool retrieval ratio vs cached share.
+
+def _ratio_cell(scale: str, ratio: float) -> dict:
+    """(b) index-pool retrieval ratio at one cached-PBFG share."""
+    geometry, num_requests = scale_params(scale)
     trace = twitter_trace(num_requests)
-    for ratio in CACHED_RATIOS:
-        engine = NemoCache(geometry, nemo_config(cached_index_ratio=ratio))
-        replay(engine, trace)
-        result.pool_ratio[ratio] = engine.pbfg_request_pool_ratio()
+    engine = NemoCache(geometry, nemo_config(cached_index_ratio=ratio))
+    replay(engine, trace)
+    return {"ratio": ratio, "pool": engine.pbfg_request_pool_ratio()}
+
+
+def cells(scale: str) -> list[Cell]:
+    return [
+        Cell(f"fig19a/{name}", _cluster_cell, (scale, name))
+        for name in sorted(TWITTER_CLUSTERS)
+    ] + [
+        Cell(f"fig19b/cached{ratio:.0%}", _ratio_cell, (scale, ratio))
+        for ratio in CACHED_RATIOS
+    ]
+
+
+def assemble(payloads: list[dict]) -> Fig19Result:
+    result = Fig19Result()
+    for p in payloads:
+        if "cluster" in p:
+            result.top30_share[p["cluster"]] = p["share"]
+        else:
+            result.pool_ratio[p["ratio"]] = p["pool"]
     return result
+
+
+def run(scale: str = "small", jobs: int | None = 1) -> Fig19Result:
+    return assemble(run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

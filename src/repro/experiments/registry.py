@@ -1,16 +1,26 @@
 """Experiment registry: map figure/table ids to runnable callables.
 
-``python -m repro.experiments [exp_id ...] [--scale small|full]`` runs
-experiments and prints their formatted results; with no arguments it
-lists what exists.  ``benchmarks/`` wraps the same registry in
+``python -m repro.experiments [exp_id ...] [--scale small|full] [-j N]``
+runs experiments and prints their formatted results; with no arguments
+it lists what exists.  ``benchmarks/`` wraps the same registry in
 pytest-benchmark targets.
+
+Experiments whose sweeps are embarrassingly parallel expose a
+``cells(scale)`` / ``assemble(payloads)`` pair next to ``run``;
+:func:`run_experiments` pools *all* cells of all requested experiments
+into one process pool, so independent experiments run concurrently and
+their internal sweeps interleave — with results collected in a fixed
+order so the output is identical to a serial run.
 """
 
 from __future__ import annotations
 
 import importlib
+import inspect
 from dataclasses import dataclass
 from typing import Callable
+
+from repro.harness.parallel import Cell, run_cells
 
 #: exp id -> (module, description).  Modules are imported lazily so that
 #: importing the registry stays cheap.
@@ -92,8 +102,51 @@ def get_experiment(exp_id: str) -> Experiment:
     return Experiment(exp_id=exp_id, description=description, run=module.run)
 
 
-def run_experiment(exp_id: str, *, scale: str = "small"):
+def run_experiment(exp_id: str, *, scale: str = "small", jobs: int | None = 1):
+    """Run one experiment; ``jobs`` fans its cells out when supported."""
+    run = get_experiment(exp_id).run
+    if jobs != 1 and "jobs" in inspect.signature(run).parameters:
+        return run(scale=scale, jobs=jobs)
+    return run(scale=scale)
+
+
+def _whole_experiment_cell(exp_id: str, scale: str):
+    """Pool job for experiments without a ``cells``/``assemble`` split."""
     return get_experiment(exp_id).run(scale=scale)
+
+
+def run_experiments(
+    exp_ids: list[str], *, scale: str = "small", jobs: int | None = 1
+) -> list:
+    """Run several experiments, pooling every parallelisable cell.
+
+    Returns the result objects in ``exp_ids`` order.  Experiments that
+    expose ``cells``/``assemble`` contribute their individual cells to
+    one shared pool; the rest run as single whole-experiment cells.
+    Output is deterministic: identical to running each experiment
+    serially with ``jobs=1``.
+    """
+    pool_cells: list[Cell] = []
+    plans: list[tuple[str, object, int]] = []  # (exp_id, module|None, #cells)
+    for exp_id in exp_ids:
+        module_name, _ = _SPECS[exp_id]
+        module = importlib.import_module(module_name)
+        if hasattr(module, "cells") and hasattr(module, "assemble"):
+            exp_cells = module.cells(scale)
+            plans.append((exp_id, module, len(exp_cells)))
+            pool_cells.extend(exp_cells)
+        else:
+            plans.append((exp_id, None, 1))
+            pool_cells.append(
+                Cell(exp_id, _whole_experiment_cell, (exp_id, scale))
+            )
+    payloads = run_cells(pool_cells, jobs=jobs)
+    results, pos = [], 0
+    for _exp_id, module, count in plans:
+        chunk = payloads[pos : pos + count]
+        pos += count
+        results.append(module.assemble(chunk) if module else chunk[0])
+    return results
 
 
 EXPERIMENTS: tuple[str, ...] = tuple(_SPECS)

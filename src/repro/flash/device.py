@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.errors import DeviceError, ReadError
+from repro.errors import AlignmentError, DeviceError, ReadError
 from repro.flash.geometry import FlashGeometry
 
 #: Page states.
@@ -38,6 +38,7 @@ class NandArray:
     def __init__(self, geometry: FlashGeometry) -> None:
         self.geometry = geometry
         n = geometry.num_pages
+        self._num_pages = n
         self._state = bytearray(n)  # PAGE_ERASED / PAGE_PROGRAMMED
         self._payload: list[Any] = [None] * n
         self.program_count = 0
@@ -64,7 +65,12 @@ class NandArray:
 
     def read(self, page: int) -> Any:
         """Return the payload of a programmed page."""
-        self.geometry.check_page(page)
+        # Hot path (one call per simulated page read): bounds check
+        # inlined rather than delegated to ``geometry.check_page``.
+        if not 0 <= page < self._num_pages:
+            raise AlignmentError(
+                f"page {page} out of range [0, {self._num_pages})"
+            )
         if self._state[page] != PAGE_PROGRAMMED:
             raise ReadError(f"page {page} is not programmed")
         self.read_count += 1

@@ -18,7 +18,7 @@ and therefore scale-free (see DESIGN.md §3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import AlignmentError, ConfigError
 
@@ -58,6 +58,16 @@ class FlashGeometry:
     num_blocks: int = 1024
     blocks_per_zone: int = 16
 
+    # Derived sizes, precomputed once: ``check_page`` sits on the flash
+    # read hot path (every simulated page read), so these must be plain
+    # attribute loads, not per-call property arithmetic.
+    block_size: int = field(init=False, repr=False, compare=False, default=0)
+    zone_size: int = field(init=False, repr=False, compare=False, default=0)
+    pages_per_zone: int = field(init=False, repr=False, compare=False, default=0)
+    num_zones: int = field(init=False, repr=False, compare=False, default=0)
+    num_pages: int = field(init=False, repr=False, compare=False, default=0)
+    capacity_bytes: int = field(init=False, repr=False, compare=False, default=0)
+
     def __post_init__(self) -> None:
         if self.page_size <= 0:
             raise ConfigError(f"page_size must be positive, got {self.page_size}")
@@ -76,37 +86,13 @@ class FlashGeometry:
                 "num_blocks must be a multiple of blocks_per_zone "
                 f"({self.num_blocks} % {self.blocks_per_zone} != 0)"
             )
-
-    # ------------------------------------------------------------------
-    # Derived sizes
-    # ------------------------------------------------------------------
-    @property
-    def block_size(self) -> int:
-        """Bytes per erase block."""
-        return self.page_size * self.pages_per_block
-
-    @property
-    def zone_size(self) -> int:
-        """Bytes per zone."""
-        return self.block_size * self.blocks_per_zone
-
-    @property
-    def pages_per_zone(self) -> int:
-        return self.pages_per_block * self.blocks_per_zone
-
-    @property
-    def num_zones(self) -> int:
-        return self.num_blocks // self.blocks_per_zone
-
-    @property
-    def num_pages(self) -> int:
-        """Total pages in the device."""
-        return self.num_blocks * self.pages_per_block
-
-    @property
-    def capacity_bytes(self) -> int:
-        """Total raw capacity in bytes."""
-        return self.num_pages * self.page_size
+        set_attr = object.__setattr__  # frozen dataclass
+        set_attr(self, "block_size", self.page_size * self.pages_per_block)
+        set_attr(self, "zone_size", self.block_size * self.blocks_per_zone)
+        set_attr(self, "pages_per_zone", self.pages_per_block * self.blocks_per_zone)
+        set_attr(self, "num_zones", self.num_blocks // self.blocks_per_zone)
+        set_attr(self, "num_pages", self.num_blocks * self.pages_per_block)
+        set_attr(self, "capacity_bytes", self.num_pages * self.page_size)
 
     # ------------------------------------------------------------------
     # Address arithmetic

@@ -130,12 +130,24 @@ class ZNSDevice:
         """
         payload = self.nand.read(page)
         self.stats.record_host_read(self.geometry.page_size)
-        lat = (
-            self.latency.read(page, now_us, background=background)
-            if self.latency
-            else 0.0
-        )
-        return payload, lat
+        if self.latency is None:
+            return payload, 0.0
+        return payload, self.latency.read(page, now_us, background=background)
+
+    def read_page(self, page: int) -> Any:
+        """Latency-free single-page read for engine hot paths.
+
+        Equivalent to ``read(page)[0]`` when no latency model is
+        attached; the host-read accounting is inlined because this is
+        the single most-called route through the device during replay.
+        """
+        payload = self.nand.read(page)
+        stats = self.stats
+        nbytes = self.geometry.page_size
+        stats.host_read_bytes += nbytes
+        stats.host_read_ops += 1
+        stats.flash_read_bytes += nbytes
+        return payload
 
     def read_many(self, pages: list[int], *, now_us: float = 0.0) -> tuple[list[Any], float]:
         """Parallel page reads; latency is that of the slowest read."""

@@ -11,6 +11,7 @@ trend, flash writes per minute).
 
 from repro.harness.percentile import LatencyRecorder, StreamingQuantile
 from repro.harness.metrics import MetricSeries, WindowedRate
+from repro.harness.parallel import Cell, CellFailure, default_jobs, run_cells
 from repro.harness.runner import ReplayResult, replay
 from repro.harness.report import cdf_from_counter, format_table
 
@@ -23,4 +24,8 @@ __all__ = [
     "replay",
     "format_table",
     "cdf_from_counter",
+    "Cell",
+    "CellFailure",
+    "default_jobs",
+    "run_cells",
 ]

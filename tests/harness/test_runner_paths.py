@@ -1,0 +1,90 @@
+"""Fast-path vs instrumented-path equivalence for ``replay``.
+
+``replay`` dispatches to a branch-free inner loop when latency is not
+recorded and to a fully-instrumented loop when it is.  Both must
+produce identical cache metrics — the only permitted difference is the
+presence of latency samples.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.log_structured import LogStructuredCache
+from repro.harness.runner import replay
+from repro.workloads.trace import OP_GET
+
+
+def _series_rows(result):
+    return {name: s.as_rows() for name, s in result.series.items()}
+
+
+def _assert_metrics_equal(fast, instrumented):
+    assert fast.final == instrumented.final
+    fast_rows = _series_rows(fast)
+    inst_rows = _series_rows(instrumented)
+    assert fast_rows.keys() == inst_rows.keys()
+    for name in fast_rows:
+        for (xa, va), (xb, vb) in zip(fast_rows[name], inst_rows[name]):
+            assert xa == xb
+            assert va == vb or (math.isnan(va) and math.isnan(vb))
+
+
+class TestPathEquivalence:
+    def test_final_and_series_identical(self, small_geometry, small_trace):
+        fast = replay(
+            LogStructuredCache(small_geometry),
+            small_trace,
+            sample_every=5_000,
+        )
+        instrumented = replay(
+            LogStructuredCache(small_geometry),
+            small_trace,
+            sample_every=5_000,
+            record_latency=True,
+        )
+        _assert_metrics_equal(fast, instrumented)
+
+    def test_latency_only_on_instrumented_path(self, small_geometry, small_trace):
+        fast = replay(LogStructuredCache(small_geometry), small_trace)
+        instrumented = replay(
+            LogStructuredCache(small_geometry),
+            small_trace,
+            record_latency=True,
+        )
+        assert len(fast.latency) == 0
+        num_gets = int(np.count_nonzero(small_trace.ops == OP_GET))
+        assert len(instrumented.latency) == num_gets
+
+    def test_window_marking_identical(self, small_geometry, small_trace):
+        mark = len(small_trace) // 2
+        fast = replay(
+            LogStructuredCache(small_geometry),
+            small_trace,
+            mark_window_at=mark,
+        )
+        instrumented = replay(
+            LogStructuredCache(small_geometry),
+            small_trace,
+            mark_window_at=mark,
+            record_latency=True,
+        )
+        _assert_metrics_equal(fast, instrumented)
+
+    def test_write_rate_windows_identical(self, small_geometry, small_trace):
+        kwargs = dict(
+            sample_every=7_000,
+            arrival_rate=50_000.0,
+            write_rate_window_s=0.1,
+        )
+        fast = replay(LogStructuredCache(small_geometry), small_trace, **kwargs)
+        instrumented = replay(
+            LogStructuredCache(small_geometry),
+            small_trace,
+            record_latency=True,
+            **kwargs,
+        )
+        _assert_metrics_equal(fast, instrumented)
+        assert fast.write_rate.rates == instrumented.write_rate.rates
