@@ -1,0 +1,44 @@
+"""Per-engine replay benchmarks (the fig12 datapath, one engine each).
+
+One pytest-benchmark target per Table 4 engine — Log, Set, FW, KG and
+Nemo — replaying the micro merged-Twitter trace that the fig12 micro
+cells use, so each timing is directly the wall-clock of that engine's
+experiment cell.  KG is the stress target for the GC datapath: its
+Case 3.1 relocation traffic makes it ~10x the write volume of any other
+engine at equal request count.
+
+``benchmarks/save_baseline.py --only engines`` distils these into
+``BENCH_engines.json`` (requests/sec per engine).  Set the
+``BENCH_ENGINE_ROUNDS`` environment variable to trade precision for
+runtime (default 3; CI smoke uses 1).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import scale_params, twitter_trace
+from repro.experiments.fig12_wa_main import PAPER_WA, build_engines
+from repro.harness.runner import replay
+
+ROUNDS = int(os.environ.get("BENCH_ENGINE_ROUNDS", "3"))
+
+_ENGINE_INDEX = {name: i for i, name in enumerate(PAPER_WA)}
+
+
+@pytest.mark.parametrize("engine_name", list(_ENGINE_INDEX))
+def test_engine_replay(benchmark, engine_name):
+    geometry, num_requests = scale_params("micro")
+    trace = twitter_trace(num_requests)
+    index = _ENGINE_INDEX[engine_name]
+
+    def run():
+        return replay(build_engines(geometry)[index], trace)
+
+    result = benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["engine"] = engine_name
+    benchmark.extra_info["num_requests"] = result.num_requests
+    benchmark.extra_info["wa"] = result.wa
+    benchmark.extra_info["miss_ratio"] = result.miss_ratio

@@ -1,0 +1,76 @@
+"""Time individual fig12 cells from the command line.
+
+A thin timing harness around the fig12 cell functions, for quick
+before/after comparisons while working on the engine datapath::
+
+    PYTHONPATH=src python benchmarks/bench_fig12.py --engine kg
+    PYTHONPATH=src python benchmarks/bench_fig12.py --engine all --scale small
+
+Prints one JSON object per engine with the best-of-N wall-clock and the
+cell's headline metrics (so a speedup can be checked for metric drift at
+the same time).  The KG micro cell is the acceptance target for the
+constant-time-GC work: it must stay >= 2x faster than the pre-index
+baseline recorded in ``BENCH_engines.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.experiments import fig12_wa_main as fig12
+from repro.experiments.common import twitter_trace, scale_params
+
+#: CLI spelling -> fig12 engine name.
+ENGINES = {name.lower(): name for name in fig12.PAPER_WA}
+
+
+def time_cell(engine: str, scale: str, rounds: int) -> dict:
+    """Best-of-``rounds`` wall-clock for one fig12a cell."""
+    index = list(fig12.PAPER_WA).index(ENGINES[engine])
+    best = None
+    cell = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        cell = fig12._main_cell(scale, index)
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return {
+        "engine": cell["engine"],
+        "scale": scale,
+        "rounds": rounds,
+        "best_s": best,
+        "wa": cell["wa"],
+        "miss": cell["miss"],
+        "read_amp": cell["read_amp"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--engine",
+        choices=[*ENGINES, "all"],
+        default="kg",
+        help="fig12a cell to time (default: kg, the GC stress case)",
+    )
+    parser.add_argument(
+        "--scale", choices=["micro", "small", "full"], default="micro"
+    )
+    parser.add_argument("--rounds", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    # Warm the trace cache so the first round is not charged for it.
+    _, num_requests = scale_params(args.scale)
+    twitter_trace(num_requests)
+
+    names = list(ENGINES) if args.engine == "all" else [args.engine]
+    for name in names:
+        print(json.dumps(time_cell(name, args.scale, args.rounds)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

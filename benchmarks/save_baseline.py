@@ -1,18 +1,22 @@
 """Record benchmark baselines as compact JSON.
 
 Runs the pytest-benchmark suites and distils their ``--benchmark-json``
-output into two small files at the repo root:
+output into small files at the repo root:
 
 - ``BENCH_core_ops.json`` — ops/sec for the data-path primitives
   (engine insert/lookup, bloom add/query, zipf sampling, latency model);
 - ``BENCH_replay.json`` — end-to-end replay throughput (requests/sec)
   for the seed-reference loop, the fast path and the instrumented path,
-  plus the fast-over-seed speedup the fast lane is accountable for.
+  plus the fast-over-seed speedup the fast lane is accountable for;
+- ``BENCH_engines.json`` — per-engine fig12 replay throughput (Log,
+  Set, FW, KG, Nemo), plus each cell's speedup over the wall-clock
+  recorded just before the engine-datapath optimisation.
 
 Usage::
 
-    python benchmarks/save_baseline.py            # both suites
+    python benchmarks/save_baseline.py            # all suites
     python benchmarks/save_baseline.py --only replay
+    python benchmarks/save_baseline.py --quick    # engines, 1 round (CI)
 
 Numbers are machine-dependent; the files exist to track the *trajectory*
 of the simulator's throughput across changes, not as portable truth.
@@ -22,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -37,8 +42,23 @@ _REPLAY_BENCHES = {
     "test_replay_instrumented",
 }
 
+#: fig12 micro-cell wall-clock (best-of-2 seconds, reference dev machine)
+#: recorded immediately *before* the engine-datapath optimisation
+#: (bucket-indexed GC, array tables, marker payloads, batched
+#: relocation).  ``BENCH_engines.json`` reports current timings as
+#: speedups over these; the acceptance floor for that change was KG
+#: >= 2x.  Machine-dependent like every number here — the ratio is the
+#: signal, not the seconds.
+_PRE_OPT_CELL_SECONDS = {
+    "Log": 0.055,
+    "Set": 0.224,
+    "FW": 0.316,
+    "KG": 4.207,
+    "Nemo": 0.214,
+}
 
-def run_suite(bench_file: str) -> list[dict]:
+
+def run_suite(bench_file: str, env: dict[str, str] | None = None) -> list[dict]:
     """Run one benchmark file; return pytest-benchmark's records."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         tmp_path = Path(tmp.name)
@@ -56,6 +76,7 @@ def run_suite(bench_file: str) -> list[dict]:
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,
+            env=env,
         )
         if proc.returncode != 0:
             sys.stderr.write(proc.stdout + proc.stderr)
@@ -77,7 +98,7 @@ def summarise(records: list[dict]) -> dict[str, dict]:
             "ops_per_sec": 1.0 / stats["min"] if stats["min"] else None,
         }
         extra = record.get("extra_info") or {}
-        if name in _REPLAY_BENCHES and "num_requests" in extra:
+        if "num_requests" in extra:
             entry["requests_per_sec"] = extra["num_requests"] / stats["min"]
             entry["extra_info"] = extra
         out[name] = entry
@@ -106,19 +127,45 @@ def save_replay() -> None:
     _write(REPO_ROOT / "BENCH_replay.json", payload)
 
 
+def save_engines(*, quick: bool = False) -> None:
+    env = dict(os.environ)
+    if quick:
+        env["BENCH_ENGINE_ROUNDS"] = "1"
+    benches = summarise(run_suite("bench_engines.py", env=env))
+    payload: dict = {"benchmarks": benches}
+    speedups = {}
+    for engine, before_s in _PRE_OPT_CELL_SECONDS.items():
+        record = benches.get(f"test_engine_replay[{engine}]")
+        if record and record["min_s"]:
+            speedups[engine] = before_s / record["min_s"]
+    payload["pre_optimization_cell_seconds"] = _PRE_OPT_CELL_SECONDS
+    payload["speedup_vs_pre_optimization"] = speedups
+    _write(REPO_ROOT / "BENCH_engines.json", payload)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--only",
-        choices=["core_ops", "replay"],
+        choices=["core_ops", "replay", "engines"],
         default=None,
-        help="record just one suite (default: both)",
+        help="record just one suite (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="engines suite only, one round per engine (CI smoke)",
     )
     args = parser.parse_args(argv)
+    if args.quick:
+        save_engines(quick=True)
+        return 0
     if args.only in (None, "core_ops"):
         save_core_ops()
     if args.only in (None, "replay"):
         save_replay()
+    if args.only in (None, "engines"):
+        save_engines()
     return 0
 
 

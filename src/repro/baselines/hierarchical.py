@@ -138,7 +138,11 @@ class HierarchicalCacheBase(CacheEngine):
             self.stats.record_logical_read(entry.size)
             if entry.page < 0:
                 return LookupResult(hit=True, source="memory")
-            _, lat = self.device.read(entry.page, now_us=now_us)
+            if self.device.latency is None:
+                self.device.read_page(entry.page)
+                lat = 0.0
+            else:
+                _, lat = self.device.read(entry.page, now_us=now_us)
             return LookupResult(
                 hit=True, latency_us=lat, flash_reads=1, source="flash"
             )
@@ -152,7 +156,11 @@ class HierarchicalCacheBase(CacheEngine):
         self.stats.record_logical_read(obj_size)
         if set_id < 0:  # promotion staging buffer (DRAM)
             return LookupResult(hit=True, source="memory")
-        _, lat = self.device.read(self.hset.location[set_id], now_us=now_us)
+        if self.device.latency is None:
+            self.device.read_page(self.hset.location[set_id])
+            lat = 0.0
+        else:
+            _, lat = self.device.read(self.hset.location[set_id], now_us=now_us)
         return LookupResult(hit=True, latency_us=lat, flash_reads=1, source="flash")
 
     def delete(self, key: int) -> bool:

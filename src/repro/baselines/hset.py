@@ -34,8 +34,16 @@ from __future__ import annotations
 from collections import Counter, deque
 from typing import Callable
 
-from repro.errors import ConfigError, EngineStateError, ObjectTooLargeError
+from repro.errors import (
+    ConfigError,
+    DeviceError,
+    EngineStateError,
+    ObjectTooLargeError,
+    ReadError,
+)
+from repro.flash.device import PAGE_PROGRAMMED
 from repro.flash.zns import ZNSDevice
+from repro.flash.zone import ZoneState
 
 #: Set-write cases, used for instrumentation.
 CASE_FIRST = "first"        # set written for the first time (early stage)
@@ -148,13 +156,16 @@ class HierarchicalSet:
         self.location = [-1] * self.num_sets  # set id -> current flash page
 
         self.victim_policy = victim_policy
-        self._page_owner: dict[int, int] = {}  # flash page -> set id
+        #: flash page -> owning set id (-1 = no current copy), flat
+        #: array over the whole device so the GC scan is an index walk.
+        self._page_owner = [-1] * device.geometry.num_pages
+        self._pages_per_zone = device.geometry.pages_per_zone
         self._free_zones: deque[int] = deque(zone_ids)
         self._zone_fifo: deque[int] = deque()
         self._open_zone: int | None = None
         self._in_gc = False
         #: live (current-copy) pages per zone, for greedy victim choice.
-        self._zone_valid: Counter[int] = Counter()
+        self._zone_valid = [0] * device.geometry.num_zones
 
         # FW promotion staging: bucket -> {key: size}.
         self.pending_promotions: list[dict[int, int]] = [
@@ -257,9 +268,12 @@ class HierarchicalSet:
         # Migration is background work (async threads in the paper's
         # implementation), so it must not stall foreground reads.
         if not first_write:
-            self.device.read(
-                self.location[set_id], now_us=now_us, background=True
-            )
+            if self.device.latency is None:
+                self.device.read_page(self.location[set_id])
+            else:
+                self.device.read(
+                    self.location[set_id], now_us=now_us, background=True
+                )
 
         new_bytes = 0
         for key, size in new_objs:
@@ -287,6 +301,95 @@ class HierarchicalSet:
             else:
                 self.on_evict(key, size)
 
+    def _relocate_set(self, set_id: int, *, now_us: float = 0.0) -> None:
+        """Verbatim GC relocation (Case 3.1) — ``_write_set`` fast path.
+
+        The mirror is unchanged by a relocation (no new objects, no
+        overflow possible: the set already fit its page), so the general
+        path's merge/shrink machinery is skipped; the RMW read, the
+        appended page and the case accounting are identical.
+        """
+        if self.device.latency is None:
+            self.device.read_page(self.location[set_id])
+        else:
+            self.device.read(
+                self.location[set_id], now_us=now_us, background=True
+            )
+        self._append_set_page(set_id, now_us=now_us)
+        self.case_writes[CASE_RELOCATE] += 1
+        self.case_new_bytes[CASE_RELOCATE] += 0
+
+    def _relocate_batch(self, set_ids: list[int]) -> None:
+        """Bulk latency-free relocation: ``_relocate_set`` over ``set_ids``.
+
+        Kangaroo GC relocates hundreds of sets per victim and those
+        relocations dominate replay time, so the read/append chain is
+        inlined here: pages are programmed in zone-sequential runs and
+        the (identical) stat deltas are accumulated locally and applied
+        once per batch.  Nothing observes device stats mid-GC — the
+        whole batch runs inside one engine ``insert`` — so the deferred
+        accounting is indistinguishable from the per-set path.
+        """
+        device = self.device
+        nand = device.nand
+        zones = device.zones
+        ppz = self._pages_per_zone
+        ppb = nand._pages_per_block
+        state = nand._state
+        payload = nand._payload
+        programmed = nand._programmed_in_block
+        owner = self._page_owner
+        location = self.location
+        zone_valid = self._zone_valid
+        total = len(set_ids)
+        i = 0
+        while i < total:
+            zone_id = self._writable_zone()
+            zone = zones[zone_id]
+            wp = zone.write_pointer
+            cap = zone.capacity_pages
+            take = min(total - i, cap - wp)
+            base = zone_id * ppz + wp
+            for j in range(take):
+                set_id = set_ids[i + j]
+                old_page = location[set_id]
+                # RMW read (accounting-only; the mirror is authoritative).
+                if state[old_page] != PAGE_PROGRAMMED:
+                    raise ReadError(f"page {old_page} is not programmed")
+                page = base + j
+                if state[page] == PAGE_PROGRAMMED:
+                    raise DeviceError(
+                        f"page {page} already programmed; erase its block first"
+                    )
+                state[page] = PAGE_PROGRAMMED
+                payload[page] = set_id
+                programmed[page // ppb] += 1
+                owner[old_page] = -1
+                zone_valid[old_page // ppz] -= 1
+                owner[page] = set_id
+                location[set_id] = page
+            wp += take
+            zone.write_pointer = wp
+            if wp == cap:
+                zone.state = ZoneState.FULL
+                self._open_zone = None
+            else:
+                zone.state = ZoneState.OPEN
+            zone_valid[zone_id] += take
+            i += take
+        nand.read_count += total
+        nand.program_count += total
+        stats = device.stats
+        nbytes = device.geometry.page_size * total
+        stats.host_read_bytes += nbytes
+        stats.host_read_ops += total
+        stats.flash_read_bytes += nbytes
+        stats.host_write_bytes += nbytes
+        stats.host_write_ops += total
+        stats.flash_write_bytes += nbytes
+        self.case_writes[CASE_RELOCATE] += total
+        self.case_new_bytes[CASE_RELOCATE] += 0
+
     def _maybe_flush_promotions(self, bucket: int, *, now_us: float = 0.0) -> None:
         pending = self.pending_promotions[bucket]
         if sum(pending.values()) < self.promote_batch_bytes:
@@ -309,15 +412,23 @@ class HierarchicalSet:
             self._ensure_headroom(now_us=now_us)
         zone_id = self._writable_zone()
         old_page = self.location[set_id]
+        zone_valid = self._zone_valid
         if old_page >= 0:
-            self._page_owner.pop(old_page, None)
-            self._zone_valid[self.device.geometry.page_to_zone(old_page)] -= 1
-        payload = dict(self.sets[set_id].objects)
-        page, _ = self.device.append(zone_id, payload, now_us=now_us)
+            self._page_owner[old_page] = -1
+            zone_valid[old_page // self._pages_per_zone] -= 1
+        # The flash page carries only an opaque set-id marker: the DRAM
+        # mirror is authoritative and set-page payloads are never read
+        # back (RMW reads are accounting-only), so snapshotting the
+        # mirror dict on every set write is pure copy churn.
+        device = self.device
+        if device.latency is None:
+            page = device.append_page(zone_id, set_id)
+        else:
+            page, _ = device.append(zone_id, set_id, now_us=now_us)
         self.location[set_id] = page
         self._page_owner[page] = set_id
-        self._zone_valid[zone_id] += 1
-        if self.device.zones[zone_id].remaining_pages == 0:
+        zone_valid[zone_id] += 1
+        if device.zones[zone_id].state is ZoneState.FULL:
             self._open_zone = None
 
     def _writable_zone(self) -> int:
@@ -378,10 +489,12 @@ class HierarchicalSet:
         geo = self.device.geometry
         first = geo.zone_first_page(victim)
         wp = self.device.zones[victim].write_pointer
+        owner = self._page_owner
+        location = self.location
         valid_sets = []
         for page in range(first, first + wp):
-            set_id = self._page_owner.get(page)
-            if set_id is not None and self.location[set_id] == page:
+            set_id = owner[page]
+            if set_id >= 0 and location[set_id] == page:
                 valid_sets.append(set_id)
         self.gc_runs += 1
         self.gc_valid_fractions.append(len(valid_sets) / wp if wp else 0.0)
@@ -401,8 +514,9 @@ class HierarchicalSet:
             self._gc_install(valid_sets, max_relocate, now_us=now_us)
         finally:
             self._in_gc = False
+        owner = self._page_owner
         for page in range(first, first + wp):
-            self._page_owner.pop(page, None)
+            owner[page] = -1
         self.device.reset_zone(victim, now_us=now_us)
         self._free_zones.append(victim)
         if self._zone_valid[victim] != 0:
@@ -410,19 +524,25 @@ class HierarchicalSet:
                 f"zone {victim} reclaimed with {self._zone_valid[victim]} "
                 "valid pages unaccounted"
             )
-        del self._zone_valid[victim]
 
     def _gc_install(
         self, valid_sets: list[int], max_relocate: int, *, now_us: float = 0.0
     ) -> None:
+        if not self.merge_on_gc:
+            # Kangaroo mode: every kept set relocates verbatim.
+            if max_relocate and self.device.latency is None:
+                self._relocate_batch(valid_sets[:max_relocate])
+            else:
+                for set_id in valid_sets[:max_relocate]:
+                    self._relocate_set(set_id, now_us=now_us)
+            for set_id in valid_sets[max_relocate:]:
+                self._drop_set(set_id)
+            return
         for idx, set_id in enumerate(valid_sets):
             if idx >= max_relocate:
                 self._drop_set(set_id)
                 continue
-            if (
-                self.merge_on_gc
-                and (not self.hot_cold or set_id < self.num_buckets)
-            ):
+            if not self.hot_cold or set_id < self.num_buckets:
                 # Active migration (Case 3.2): merge the bucket in.
                 bucket = set_id
                 objs = self.bucket_drainer(bucket)
@@ -431,10 +551,8 @@ class HierarchicalSet:
                     set_id, objs, case=CASE_ACTIVE, bucket=bucket, now_us=now_us
                 )
             else:
-                # Verbatim relocation (Case 3.1 / FW hot sets).
-                self._write_set(
-                    set_id, [], case=CASE_RELOCATE, bucket=None, now_us=now_us
-                )
+                # Verbatim relocation (FW hot sets).
+                self._relocate_set(set_id, now_us=now_us)
 
     def _drop_set(self, set_id: int) -> None:
         mirror = self.sets[set_id]
@@ -444,8 +562,8 @@ class HierarchicalSet:
         mirror.used_bytes = 0
         old = self.location[set_id]
         if old >= 0:
-            self._page_owner.pop(old, None)
-            self._zone_valid[self.device.geometry.page_to_zone(old)] -= 1
+            self._page_owner[old] = -1
+            self._zone_valid[old // self._pages_per_zone] -= 1
         self.location[set_id] = -1
 
     # ------------------------------------------------------------------

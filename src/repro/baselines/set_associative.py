@@ -117,7 +117,10 @@ class SetAssociativeCache(CacheEngine):
         sset.objects[key] = size
         sset.used_bytes += size
         self._object_count += 1
-        self.device.write(sid, dict(sset.objects), now_us=now_us)
+        # The flash page carries only the set id: the DRAM mirror is
+        # authoritative and set pages are never read back for content,
+        # so snapshotting the dict per insert is pure copy churn.
+        self.device.write(sid, sid, now_us=now_us)
 
     def delete(self, key: int) -> bool:
         sid = self._set_of(key)

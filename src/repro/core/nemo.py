@@ -409,7 +409,10 @@ class NemoCache(CacheEngine):
         front = self.queue.pop_front_for_flush()
         zone_ids = [self._free_sg_zones.popleft() for _ in range(self.zones_per_sg)]
 
-        payloads = front.page_payloads()
+        # Fill rates first: the zero-copy handoff below empties the sets.
+        fill_rate = front.fill_rate()
+        new_fill_rate = front.new_fill_rate()
+        payloads = front.take_payloads()
         ppz = self.geometry.pages_per_zone
         page_bases = []
         for i, zone_id in enumerate(zone_ids):
@@ -423,8 +426,8 @@ class NemoCache(CacheEngine):
             page_bases=page_bases,
             pages_per_zone=ppz,
             sets=payloads,
-            fill_rate=front.fill_rate(),
-            new_fill_rate=front.new_fill_rate(),
+            fill_rate=fill_rate,
+            new_fill_rate=new_fill_rate,
             filters=filters,
         )
         self.pool.append(fsg)

@@ -195,5 +195,24 @@ class SetGroup:
         """Immutable per-set snapshots for the device write."""
         return [dict(s.objects) for s in self.sets]
 
+    def take_payloads(self) -> list[dict[int, int]]:
+        """Detach and return the live per-set dicts (zero-copy flush).
+
+        Only a sealed SG may hand off its state: after sealing, no
+        insert can touch the dicts again, so the flush path can own them
+        outright instead of snapshotting ``sets_per_sg`` dict copies per
+        flush.  Each constituent set is reset to empty, so the SG stays
+        internally consistent (but read its fill rates *before* calling
+        this — they are zeroed by the handoff).
+        """
+        if not self.sealed:
+            raise ConfigError("take_payloads requires a sealed SG")
+        payloads = []
+        for s in self.sets:
+            payloads.append(s.objects)
+            s.objects = {}
+            s.used_bytes = 0
+        return payloads
+
     def seal(self) -> None:
         self.sealed = True

@@ -41,11 +41,15 @@ class NandArray:
         self._num_pages = n
         self._state = bytearray(n)  # PAGE_ERASED / PAGE_PROGRAMMED
         self._payload: list[Any] = [None] * n
+        self._pages_per_block = geometry.pages_per_block
         self.program_count = 0
         self.read_count = 0
         self.erase_count = 0
         #: per-block erase counters (wear), indexed by block id.
         self.block_erases = [0] * geometry.num_blocks
+        #: per-block programmed-page counters, maintained incrementally
+        #: so introspection and GC never re-scan page state.
+        self._programmed_in_block = [0] * geometry.num_blocks
 
     # ------------------------------------------------------------------
     def is_programmed(self, page: int) -> bool:
@@ -54,7 +58,12 @@ class NandArray:
 
     def program(self, page: int, payload: Any) -> None:
         """Program one erased page with ``payload``."""
-        self.geometry.check_page(page)
+        # Hot path (one call per simulated page write): bounds check
+        # inlined rather than delegated to ``geometry.check_page``.
+        if not 0 <= page < self._num_pages:
+            raise AlignmentError(
+                f"page {page} out of range [0, {self._num_pages})"
+            )
         if self._state[page] == PAGE_PROGRAMMED:
             raise DeviceError(
                 f"page {page} already programmed; erase its block first"
@@ -62,6 +71,7 @@ class NandArray:
         self._state[page] = PAGE_PROGRAMMED
         self._payload[page] = payload
         self.program_count += 1
+        self._programmed_in_block[page // self._pages_per_block] += 1
 
     def read(self, page: int) -> Any:
         """Return the payload of a programmed page."""
@@ -80,27 +90,38 @@ class NandArray:
         """Erase every page in ``block``."""
         self.geometry.check_block(block)
         first = self.geometry.block_first_page(block)
-        for page in range(first, first + self.geometry.pages_per_block):
-            self._state[page] = PAGE_ERASED
-            self._payload[page] = None
+        self._erase_page_range(first, first + self.geometry.pages_per_block)
         self.erase_count += 1
         self.block_erases[block] += 1
+        self._programmed_in_block[block] = 0
 
     def erase_zone(self, zone: int) -> None:
-        """Erase every block in ``zone`` (a ZNS zone reset)."""
+        """Erase every block in ``zone`` (a ZNS zone reset).
+
+        One flat pass over the zone's page range — the per-block page
+        arithmetic of repeated ``erase_block`` calls is hoisted out —
+        with the same counter semantics (one erase op per member block).
+        """
         self.geometry.check_zone(zone)
-        first_block = zone * self.geometry.blocks_per_zone
-        for block in range(first_block, first_block + self.geometry.blocks_per_zone):
-            self.erase_block(block)
+        ppz = self.geometry.pages_per_zone
+        bpz = self.geometry.blocks_per_zone
+        first_block = zone * bpz
+        self._erase_page_range(zone * ppz, (zone + 1) * ppz)
+        self.erase_count += bpz
+        for block in range(first_block, first_block + bpz):
+            self.block_erases[block] += 1
+            self._programmed_in_block[block] = 0
+
+    def _erase_page_range(self, first: int, stop: int) -> None:
+        self._state[first:stop] = bytes(stop - first)
+        payload = self._payload
+        for page in range(first, stop):
+            payload[page] = None
 
     # ------------------------------------------------------------------
     def programmed_pages_in_block(self, block: int) -> int:
-        first = self.geometry.block_first_page(block)
-        return sum(
-            1
-            for page in range(first, first + self.geometry.pages_per_block)
-            if self._state[page] == PAGE_PROGRAMMED
-        )
+        self.geometry.check_block(block)
+        return self._programmed_in_block[block]
 
     def max_block_erases(self) -> int:
         """Highest per-block erase count (wear hot spot)."""

@@ -17,6 +17,16 @@ Implementation notes
 - Greedy victim selection (fewest valid pages) — the classic baseline
   policy; with uniform random invalidation it closely tracks the
   analytic ``1/(2·OP)``-style GC overhead curves.
+- Victim candidates live in a valid-count bucket index (``_buckets[v]``
+  holds every closed, non-free block with ``v`` valid pages), maintained
+  incrementally on map/invalidate.  A victim pick takes the lowest-id
+  block of the lowest non-empty bucket — the same block the previous
+  O(num_blocks) linear scan chose (min valid count, ties to the lowest
+  block id) — so victim *sequences* are identical, but the pick costs
+  O(pages_per_block) worst case instead of O(device size).
+- Mapping tables are ``array('q')``, not lists: 8 bytes per entry
+  instead of a pointer to a boxed int, which matters on the larger
+  simulated geometries.
 - Over-provisioning is expressed exactly as in the paper's simplified
   form (§3.2): the host sees ``(1 - op_ratio)`` of raw pages as LBAs.
 - One active block receives all host and GC writes (single append
@@ -25,6 +35,8 @@ Implementation notes
 
 from __future__ import annotations
 
+from array import array
+from collections import deque
 from typing import Any, Callable
 
 from repro.errors import ConfigError, FTLError, OutOfSpaceError, ReadError
@@ -35,6 +47,9 @@ from repro.flash.stats import FlashStats
 
 #: Sentinel for "LBA not mapped".
 UNMAPPED = -1
+
+#: Sentinel for "block not in the victim-candidate index" (free/active).
+NOT_INDEXED = -1
 
 
 class PageMapFTL:
@@ -93,14 +108,29 @@ class PageMapFTL:
                 "pages/block); a real FTL with less spare deadlocks"
             )
 
-        # Mapping tables.
-        self._l2p = [UNMAPPED] * self.num_lbas
-        self._p2l = [UNMAPPED] * geometry.num_pages
-        self._valid_in_block = [0] * geometry.num_blocks
+        # Mapping tables (flat 64-bit arrays, UNMAPPED = -1).
+        self._l2p = array("q", [UNMAPPED]) * self.num_lbas
+        self._p2l = array("q", [UNMAPPED]) * geometry.num_pages
+        self._valid_in_block = array("q", [0]) * geometry.num_blocks
+        #: Live mappings == valid pages; maintained incrementally so
+        #: introspection never re-scans the tables.
+        self._valid_total = 0
 
-        # Free-block pool and the active (write-frontier) block.
-        self._free_blocks: list[int] = list(range(geometry.num_blocks - 1, -1, -1))
-        self._active_block = self._free_blocks.pop()
+        # Victim-candidate index: every closed, non-free block sits in
+        # ``_buckets[valid_count]``; ``_block_bucket[b]`` remembers which
+        # bucket (NOT_INDEXED for free/active blocks).  ``_min_bucket``
+        # is a lower bound on the lowest non-empty bucket — it only
+        # moves down when a block's count drops, and the pick loop walks
+        # it back up, so scans are amortised O(1) per count change.
+        ppb = geometry.pages_per_block
+        self._buckets: list[set[int]] = [set() for _ in range(ppb + 1)]
+        self._block_bucket = array("q", [NOT_INDEXED]) * geometry.num_blocks
+        self._min_bucket = ppb
+
+        # Free-block pool (FIFO: erased blocks re-enter at the tail) and
+        # the active (write-frontier) block.
+        self._free_blocks: deque[int] = deque(range(geometry.num_blocks))
+        self._active_block = self._free_blocks.popleft()
         self._active_offset = 0
 
     # ------------------------------------------------------------------
@@ -158,23 +188,55 @@ class PageMapFTL:
     def _map(self, lba: int, ppn: int) -> None:
         self._l2p[lba] = ppn
         self._p2l[ppn] = lba
-        self._valid_in_block[self.geometry.page_to_block(ppn)] += 1
+        block = ppn // self.geometry.pages_per_block
+        valid = self._valid_in_block[block] + 1
+        self._valid_in_block[block] = valid
+        self._valid_total += 1
+        if self._block_bucket[block] != NOT_INDEXED:
+            self._buckets[valid - 1].discard(block)
+            self._buckets[valid].add(block)
+            self._block_bucket[block] = valid
 
     def _invalidate(self, ppn: int) -> None:
-        block = self.geometry.page_to_block(ppn)
+        block = ppn // self.geometry.pages_per_block
         if self._p2l[ppn] == UNMAPPED:
             raise FTLError(f"double invalidation of ppn {ppn}")
         self._p2l[ppn] = UNMAPPED
-        self._valid_in_block[block] -= 1
-        if self._valid_in_block[block] < 0:
+        valid = self._valid_in_block[block] - 1
+        if valid < 0:
             raise FTLError(f"negative valid count in block {block}")
+        self._valid_in_block[block] = valid
+        self._valid_total -= 1
+        if self._block_bucket[block] != NOT_INDEXED:
+            self._buckets[valid + 1].discard(block)
+            self._buckets[valid].add(block)
+            self._block_bucket[block] = valid
+            if valid < self._min_bucket:
+                self._min_bucket = valid
+
+    def _index_insert(self, block: int) -> None:
+        """File a freshly-closed block under its valid count."""
+        valid = self._valid_in_block[block]
+        self._buckets[valid].add(block)
+        self._block_bucket[block] = valid
+        if valid < self._min_bucket:
+            self._min_bucket = valid
+
+    def _index_remove(self, block: int) -> None:
+        """Drop a block from the candidate index (picked for GC)."""
+        bucket = self._block_bucket[block]
+        if bucket != NOT_INDEXED:
+            self._buckets[bucket].discard(block)
+            self._block_bucket[block] = NOT_INDEXED
 
     def _allocate_page(self) -> int:
         """Next physical page at the write frontier, advancing blocks."""
         if self._active_offset == self.geometry.pages_per_block:
             if not self._free_blocks:
                 raise OutOfSpaceError("FTL has no free blocks (GC failed?)")
-            self._active_block = self._free_blocks.pop()
+            # The filled block closes and becomes a GC candidate.
+            self._index_insert(self._active_block)
+            self._active_block = self._free_blocks.popleft()
             self._active_offset = 0
         ppn = (
             self.geometry.block_first_page(self._active_block) + self._active_offset
@@ -209,6 +271,7 @@ class PageMapFTL:
             victim = self._pick_victim()
         if victim is None:
             raise OutOfSpaceError("no GC victim available")
+        self._index_remove(victim)
         first = self.geometry.block_first_page(victim)
         relocated = 0
         for ppn in range(first, first + self.geometry.pages_per_block):
@@ -225,43 +288,91 @@ class PageMapFTL:
             if self.relocation_callback is not None:
                 self.relocation_callback(lba, ppn, new_ppn)
         self.nand.erase_block(victim)
-        self._free_blocks.insert(0, victim)
+        self._free_blocks.append(victim)
         self.stats.record_gc(relocated, self.geometry.page_size)
         self.stats.record_erase()
         if self.latency:
             self.latency.erase(first, now_us)
 
     def _pick_victim(self) -> int | None:
-        """Greedy: the non-active block with the fewest valid pages."""
-        free = set(self._free_blocks)
-        best = None
-        best_valid = None
-        for block in range(self.geometry.num_blocks):
-            if block == self._active_block or block in free:
-                continue
-            valid = self._valid_in_block[block]
-            if best_valid is None or valid < best_valid:
-                best, best_valid = block, valid
-                if valid == 0:
-                    break
-        return best
+        """Greedy: the non-active block with the fewest valid pages.
+
+        Peeks (does not remove) the lowest-id member of the lowest
+        non-empty valid-count bucket; ``_gc_once`` unindexes the victim
+        when it actually collects it.
+        """
+        buckets = self._buckets
+        b = self._min_bucket
+        top = len(buckets) - 1
+        while b <= top and not buckets[b]:
+            b += 1
+        self._min_bucket = b if b <= top else top
+        if b > top:
+            return None
+        return min(buckets[b])
 
     # ------------------------------------------------------------------
     # Introspection (for tests and experiments)
     # ------------------------------------------------------------------
     def mapped_lba_count(self) -> int:
-        return sum(1 for p in self._l2p if p != UNMAPPED)
+        return self._valid_total
 
     def valid_page_count(self) -> int:
-        return sum(self._valid_in_block)
+        return self._valid_total
 
     def check_invariants(self) -> None:
-        """Audit internal consistency; raises :class:`FTLError` on drift."""
-        if self.mapped_lba_count() != self.valid_page_count():
+        """Audit internal consistency; raises :class:`FTLError` on drift.
+
+        Recomputes every incrementally-maintained quantity (valid
+        counts, the live-mapping total, the victim bucket index) from
+        the raw tables, so a stale counter or mis-filed bucket cannot
+        hide behind its own cache.
+        """
+        mapped = sum(1 for p in self._l2p if p != UNMAPPED)
+        valid = sum(self._valid_in_block)
+        if mapped != valid:
             raise FTLError(
-                "mapped LBA count != valid page count "
-                f"({self.mapped_lba_count()} != {self.valid_page_count()})"
+                f"mapped LBA count != valid page count ({mapped} != {valid})"
+            )
+        if self._valid_total != valid:
+            raise FTLError(
+                f"stale valid-total counter ({self._valid_total} != {valid})"
             )
         for lba, ppn in enumerate(self._l2p):
             if ppn != UNMAPPED and self._p2l[ppn] != lba:
                 raise FTLError(f"l2p/p2l mismatch at lba={lba}, ppn={ppn}")
+        ppb = self.geometry.pages_per_block
+        per_block = [0] * self.geometry.num_blocks
+        for ppn, lba in enumerate(self._p2l):
+            if lba != UNMAPPED:
+                per_block[ppn // ppb] += 1
+        free = set(self._free_blocks)
+        for block in range(self.geometry.num_blocks):
+            if per_block[block] != self._valid_in_block[block]:
+                raise FTLError(
+                    f"stale valid count in block {block} "
+                    f"({self._valid_in_block[block]} != {per_block[block]})"
+                )
+            bucket = self._block_bucket[block]
+            indexed = bucket != NOT_INDEXED
+            closed = block != self._active_block and block not in free
+            if indexed != closed:
+                raise FTLError(
+                    f"block {block}: indexed={indexed} but closed={closed}"
+                )
+            if indexed:
+                if bucket != per_block[block]:
+                    raise FTLError(
+                        f"block {block} filed under bucket {bucket}, "
+                        f"has {per_block[block]} valid pages"
+                    )
+                if block not in self._buckets[bucket]:
+                    raise FTLError(
+                        f"block {block} missing from bucket {bucket}"
+                    )
+        indexed_total = sum(len(b) for b in self._buckets)
+        expected = self.geometry.num_blocks - 1 - len(free)
+        if indexed_total != expected:
+            raise FTLError(
+                f"bucket index holds {indexed_total} blocks, expected {expected}"
+            )

@@ -93,6 +93,34 @@ class ZNSDevice:
         lat = self.latency.program(page, now_us) if self.latency else 0.0
         return page, lat
 
+    def append_page(self, zone_id: int, payload: Any) -> int:
+        """Latency-free single-page zone append for engine hot paths.
+
+        Equivalent to ``append(zone_id, payload)[0]`` when no latency
+        model is attached; the host-write accounting is inlined because
+        this is the single most-called write route through the device
+        during hierarchical (KG/FW) replay.
+        """
+        # Zone.advance inlined (single-page case of its state machine).
+        zone = self.zones[zone_id]
+        offset = zone.write_pointer
+        if offset >= zone.capacity_pages:
+            raise ZoneStateError(f"zone {zone.zone_id} is FULL")
+        zone.write_pointer = offset + 1
+        zone.state = (
+            ZoneState.FULL
+            if offset + 1 == zone.capacity_pages
+            else ZoneState.OPEN
+        )
+        page = zone_id * self.geometry.pages_per_zone + offset
+        self.nand.program(page, payload)
+        stats = self.stats
+        nbytes = self.geometry.page_size
+        stats.host_write_bytes += nbytes
+        stats.host_write_ops += 1
+        stats.flash_write_bytes += nbytes
+        return page
+
     def append_many(
         self, zone_id: int, payloads: list[Any], *, now_us: float = 0.0
     ) -> tuple[list[int], float]:

@@ -129,6 +129,26 @@ class TestSetGroup:
         payloads[0][99] = 1  # mutating the snapshot is safe
         assert sg.find(0, 99) is None
 
+    def test_take_payloads_requires_sealed(self, sg):
+        sg.try_insert(0, 1, 100)
+        with pytest.raises(ConfigError):
+            sg.take_payloads()
+
+    def test_take_payloads_detaches_live_dicts(self, sg):
+        """The flush handoff moves the dicts out instead of copying."""
+        sg.try_insert(0, 1, 100)
+        sg.try_insert(3, 7, 250)
+        sg.seal()
+        payloads = sg.take_payloads()
+        assert payloads[0] == {1: 100}
+        assert payloads[3] == {7: 250}
+        # The SG's sets are reset, not aliased: the handed-off dicts
+        # stay valid however the SG is reused.
+        assert sg.find(0, 1) is None
+        assert all(s.used_bytes == 0 for s in sg.sets)
+        payloads[0][99] = 1
+        assert sg.find(0, 99) is None
+
     def test_bad_construction(self):
         with pytest.raises(ConfigError):
             SetGroup(0, 0, 100)

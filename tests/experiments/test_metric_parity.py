@@ -1,0 +1,104 @@
+"""Byte-identity regression tests for the experiment datapath.
+
+The engine-datapath optimisations (bucket-indexed GC, array-backed FTL
+tables, marker payloads, batched relocation) must not perturb a single
+metric: every fig12 cell (all five engines — the KG cell exercises the
+batched GC relocation path — plus both FW variants) and every fig14
+cell is compared against ``golden_metrics_micro.json``, recorded from
+the pre-optimisation code, with exact float equality.
+
+Regenerate the golden file (only after an *intentional* metric change)::
+
+    PYTHONPATH=src python tests/experiments/test_metric_parity.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).parent / "golden_metrics_micro.json"
+
+
+def _compute_cells() -> dict:
+    from repro.experiments import fig12_wa_main as f12
+    from repro.experiments import fig14_wa_trend as f14
+
+    fig12 = [
+        f12._main_cell("micro", i) for i in range(len(f12.PAPER_WA))
+    ]
+    fig12 += [
+        f12._variant_cell("micro", label, kw["log_fraction"], kw["op_ratio"])
+        for label, kw in f12.VARIANTS
+    ]
+    fig14 = [
+        f14._system_cell("micro", name, log_fraction, op_ratio)
+        for name, log_fraction, op_ratio in f14.SYSTEMS
+    ]
+    # Round-trip through JSON so tuples/lists and int/float widths
+    # compare on equal footing with the stored golden file.
+    return json.loads(json.dumps({"fig12": fig12, "fig14": fig14}))
+
+
+def _assert_identical(new, golden, path=""):
+    if isinstance(golden, dict):
+        assert isinstance(new, dict) and set(new) == set(golden), path
+        for key in golden:
+            _assert_identical(new[key], golden[key], f"{path}.{key}")
+    elif isinstance(golden, list):
+        assert isinstance(new, list) and len(new) == len(golden), path
+        for i, (a, b) in enumerate(zip(new, golden)):
+            _assert_identical(a, b, f"{path}[{i}]")
+    elif isinstance(golden, float) and isinstance(new, float):
+        assert (new == golden) or (
+            math.isnan(new) and math.isnan(golden)
+        ), f"{path}: {new!r} != {golden!r}"
+    else:
+        assert new == golden, f"{path}: {new!r} != {golden!r}"
+
+
+@pytest.fixture(scope="module")
+def cells():
+    return _compute_cells()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestMetricParity:
+    def test_fig12_cells_byte_identical(self, cells, golden):
+        _assert_identical(cells["fig12"], golden["fig12"], "fig12")
+
+    def test_fig12_covers_kg(self, golden):
+        from repro.experiments import fig12_wa_main as f12
+
+        engines = list(f12.PAPER_WA)
+        assert "KG" in engines
+        assert len(golden["fig12"]) == len(engines) + len(f12.VARIANTS)
+
+    def test_fig14_cells_byte_identical(self, cells, golden):
+        _assert_identical(cells["fig14"], golden["fig14"], "fig14")
+
+
+def main() -> None:
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--regen", action="store_true", help="rewrite the golden file"
+    )
+    args = parser.parse_args()
+    if not args.regen:
+        parser.error("nothing to do; pass --regen to rewrite the golden file")
+    GOLDEN_PATH.write_text(json.dumps(_compute_cells(), indent=1) + "\n")
+    sys.stdout.write(f"wrote {GOLDEN_PATH}\n")
+
+
+if __name__ == "__main__":
+    main()

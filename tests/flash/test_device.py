@@ -74,3 +74,25 @@ class TestErase:
         nand.program(1, "b")
         assert nand.programmed_pages_in_block(0) == 2
         assert nand.programmed_pages_in_block(1) == 0
+
+    def test_erase_zone_counts_one_erase_per_member_block(self, nand):
+        nand.program(0, "a")
+        nand.erase_zone(0)
+        assert nand.erase_count == 2  # blocks_per_zone = 2
+        assert nand.block_erases[0] == 1
+        assert nand.block_erases[1] == 1
+        assert nand.block_erases[2] == 0
+
+    def test_programmed_counts_track_erase_and_reprogram(self, nand):
+        """The per-block counters stay exact through erase cycles."""
+        for page in range(6):
+            nand.program(page, page)
+        assert nand.programmed_pages_in_block(0) == 4
+        assert nand.programmed_pages_in_block(1) == 2
+        nand.erase_zone(0)
+        assert nand.programmed_pages_in_block(0) == 0
+        assert nand.programmed_pages_in_block(1) == 0
+        nand.program(2, "again")
+        assert nand.programmed_pages_in_block(0) == 1
+        nand.erase_block(0)
+        assert nand.programmed_pages_in_block(0) == 0

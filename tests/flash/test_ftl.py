@@ -115,6 +115,104 @@ class TestGC:
             assert len(moves) == ftl.stats.gc_relocated_pages
 
 
+class _VictimRecorder(PageMapFTL):
+    """Records the victim block id of every GC run, in order."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.victims: list[int] = []
+
+    def _gc_once(self, victim=None, *, now_us=0.0):
+        if victim is None:
+            victim = self._pick_victim()
+        self.victims.append(victim)
+        super()._gc_once(victim, now_us=now_us)
+
+
+class _LinearScanFTL(_VictimRecorder):
+    """Reference policy: the pre-index O(num_blocks) greedy scan.
+
+    Minimum valid count over closed non-free blocks, ties broken by the
+    lowest block id (strict ``<`` while scanning ids in order), early
+    exit on a fully-invalid block — the exact semantics the bucket index
+    replaced and must reproduce victim-for-victim.
+    """
+
+    def _pick_victim(self):
+        free = set(self._free_blocks)
+        best = None
+        best_valid = None
+        for block in range(self.geometry.num_blocks):
+            if block == self._active_block or block in free:
+                continue
+            valid = self._valid_in_block[block]
+            if best is None or valid < best_valid:
+                best, best_valid = block, valid
+                if valid == 0:
+                    break
+        return best
+
+
+def _apply_ops(ftl, ops):
+    """Interleave writes, trims and explicit GC; return the dict model."""
+    model: dict[int, object] = {}
+    for i, (kind, lba) in enumerate(ops):
+        lba %= ftl.num_lbas
+        if kind == 0:
+            ftl.write(lba, i)
+            model[lba] = i
+        elif kind == 1:
+            ftl.trim(lba)
+            model.pop(lba, None)
+        elif ftl._pick_victim() is not None:
+            ftl._gc_once()
+    return model
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 40)),
+        min_size=1,
+        max_size=400,
+    )
+)
+def test_ftl_invariants_under_churn(ops):
+    """Random write/trim/GC interleavings never corrupt internal state."""
+    ftl = make_ftl(op_ratio=0.3, num_blocks=8, pages_per_block=4)
+    model = _apply_ops(ftl, ops)
+    ftl.check_invariants()
+    for lba in range(ftl.num_lbas):
+        if lba in model:
+            assert ftl.read(lba)[0] == model[lba]
+        else:
+            assert not ftl.is_mapped(lba)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 40)),
+        min_size=1,
+        max_size=400,
+    )
+)
+def test_victim_sequence_matches_linear_scan(ops):
+    """The bucket index picks the same victims as the old linear scan."""
+    geo = FlashGeometry(
+        page_size=4096, pages_per_block=4, num_blocks=8, blocks_per_zone=1
+    )
+    fast = _VictimRecorder(geo, op_ratio=0.3)
+    ref = _LinearScanFTL(geo, op_ratio=0.3)
+    _apply_ops(fast, ops)
+    _apply_ops(ref, ops)
+    assert fast.victims == ref.victims
+    assert list(fast._l2p) == list(ref._l2p)
+    assert fast.stats.gc_runs == ref.stats.gc_runs
+    assert fast.stats.gc_relocated_pages == ref.stats.gc_relocated_pages
+    fast.check_invariants()
+
+
 @settings(max_examples=30, deadline=None)
 @given(
     ops=st.lists(
