@@ -1,0 +1,126 @@
+"""Benchmark regression gate: fresh run vs the committed baselines.
+
+Re-runs a benchmark suite and compares each cell's throughput against
+the numbers committed in ``BENCH_engines.json`` / ``BENCH_replay.json``.
+Exits nonzero when any cell regresses by more than ``--max-regression``
+(default 25 %), so CI catches datapath slowdowns before they land.
+
+The committed files are **not** rewritten — use
+``benchmarks/save_baseline.py`` to refresh them after an intentional
+perf change.  Usage::
+
+    python benchmarks/check_regression.py                  # engines, 1 round
+    python benchmarks/check_regression.py --suite all
+    python benchmarks/check_regression.py --max-regression 0.4 --rounds 3
+
+Wall-clock on shared CI runners is noisy; the default threshold is
+deliberately loose (a >25 % drop on every engine at once is a real
+regression, not scheduler jitter).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from save_baseline import REPO_ROOT, run_suite, summarise  # noqa: E402
+
+#: suite name -> (benchmark file, committed baseline file).
+SUITES = {
+    "engines": ("bench_engines.py", "BENCH_engines.json"),
+    "replay": ("bench_replay.py", "BENCH_replay.json"),
+}
+
+
+def compare(
+    fresh: dict[str, dict], baseline: dict[str, dict], max_regression: float
+) -> list[str]:
+    """Return failure messages; prints one status line per cell."""
+    failures: list[str] = []
+    for name, base in sorted(baseline.items()):
+        base_rps = base.get("requests_per_sec")
+        if base_rps is None:
+            continue  # non-throughput entries are not gated
+        record = fresh.get(name)
+        if record is None or not record.get("requests_per_sec"):
+            failures.append(f"{name}: missing from the fresh run")
+            continue
+        cur_rps = record["requests_per_sec"]
+        ratio = cur_rps / base_rps
+        regressed = ratio < 1.0 - max_regression
+        status = "REGRESSED" if regressed else "ok"
+        print(
+            f"  {name:45s} {cur_rps:>12,.0f} req/s "
+            f"(baseline {base_rps:>12,.0f}, {ratio:5.2f}x) {status}"
+        )
+        if regressed:
+            failures.append(
+                f"{name}: {cur_rps:,.0f} req/s is "
+                f"{(1.0 - ratio) * 100.0:.0f}% below the committed "
+                f"{base_rps:,.0f} req/s"
+            )
+    return failures
+
+
+def check_suite(suite: str, *, max_regression: float, rounds: int) -> list[str]:
+    bench_file, baseline_file = SUITES[suite]
+    baseline_path = REPO_ROOT / baseline_file
+    if not baseline_path.exists():
+        print(f"[{suite}] no committed {baseline_file}; nothing to gate")
+        return []
+    baseline = json.loads(baseline_path.read_text())["benchmarks"]
+    env = dict(os.environ)
+    env["BENCH_ENGINE_ROUNDS"] = str(rounds)
+    print(f"[{suite}] running {bench_file} ({rounds} round(s)) ...")
+    fresh = summarise(run_suite(bench_file, env=env))
+    return compare(fresh, baseline, max_regression)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        choices=[*SUITES, "all"],
+        default="engines",
+        help="benchmark suite(s) to gate (default: engines)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="tolerated fractional throughput drop (default: 0.25)",
+    )
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=1,
+        help="benchmark rounds per cell (default: 1, the CI smoke setting)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.max_regression < 1.0:
+        parser.error("--max-regression must be in [0, 1)")
+
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    failures: list[str] = []
+    for suite in suites:
+        failures.extend(
+            check_suite(
+                suite, max_regression=args.max_regression, rounds=args.rounds
+            )
+        )
+    if failures:
+        print("\nthroughput regressions detected:")
+        for message in failures:
+            print(f"  - {message}")
+        return 1
+    print("\nno throughput regression beyond "
+          f"{args.max_regression * 100:.0f}% tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -102,6 +102,64 @@ class CacheEngine(abc.ABC):
         return False
 
     # ------------------------------------------------------------------
+    # Bulk operations (batched replay dispatch)
+    # ------------------------------------------------------------------
+    # The harness slices the trace into same-op runs and hands each run
+    # to one of these.  The contract per request is exactly the scalar
+    # loop's: GET = lookup + read-through insert on miss, SET = insert,
+    # DELETE = delete, and the simulated clock advances by ``step_us``
+    # *after* each request (same float accumulation order, so metrics
+    # are byte-identical to per-request dispatch).  Each returns the
+    # advanced clock.  Engines override these with inlined fast paths;
+    # the defaults fall back to the scalar methods.
+
+    def lookup_many(
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+        record=None,
+    ) -> float:
+        """Process one GET run; ``record`` (if given) receives each
+        request's service latency in order."""
+        lookup = self.lookup
+        insert = self.insert
+        if record is None:
+            for key, size in zip(keys, sizes):
+                if not lookup(key, size, now_us).hit:
+                    insert(key, size, now_us)
+                now_us += step_us
+        else:
+            for key, size in zip(keys, sizes):
+                result = lookup(key, size, now_us)
+                record(result.latency_us)
+                if not result.hit:
+                    insert(key, size, now_us)
+                now_us += step_us
+        return now_us
+
+    def insert_many(
+        self, keys: list[int], sizes: list[int], now_us: float, step_us: float
+    ) -> float:
+        """Process one SET run."""
+        insert = self.insert
+        for key, size in zip(keys, sizes):
+            insert(key, size, now_us)
+            now_us += step_us
+        return now_us
+
+    def delete_many(
+        self, keys: list[int], now_us: float, step_us: float
+    ) -> float:
+        """Process one DELETE run."""
+        delete = self.delete
+        for key in keys:
+            delete(key)
+            now_us += step_us
+        return now_us
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -82,8 +82,10 @@ class HierarchicalLog:
         self.buckets: list[dict[int, LogEntry]] = [dict() for _ in range(num_buckets)]
         self._object_count = 0
 
-        # Write buffer for the open page.
+        # Write buffer for the open page (+ each entry's bucket, so the
+        # flush doesn't re-hash every buffered key).
         self._buffer: list[LogEntry] = []
+        self._buffer_buckets: list[int] = []
         self._buffer_bytes = 0
 
         # Zone FIFO: zones currently holding log pages, oldest first.
@@ -113,12 +115,16 @@ class HierarchicalLog:
     # ------------------------------------------------------------------
     # Insertion
     # ------------------------------------------------------------------
-    def insert(self, key: int, size: int, *, now_us: float = 0.0) -> bool:
+    def insert(
+        self, key: int, size: int, *, now_us: float = 0.0, bucket: int | None = None
+    ) -> bool:
         """Buffer one object into the log.
 
         Returns ``False`` when the log is out of space — the caller must
         run :meth:`reclaim_oldest_zone` (passive migration) and retry.
-        A superseded copy of ``key`` is invalidated in place.
+        A superseded copy of ``key`` is invalidated in place.  Callers
+        that already hashed the key may pass ``bucket`` to skip the
+        redundant ``bucket_of``.
         """
         if size > self.page_size:
             raise ObjectTooLargeError(
@@ -128,7 +134,7 @@ class HierarchicalLog:
             now_us=now_us
         ):
             return False
-        b = self.bucket_of(key)
+        b = self.bucket_of(key) if bucket is None else bucket
         old = self.buckets[b].pop(key, None)
         if old is not None:
             self._object_count -= 1
@@ -136,6 +142,7 @@ class HierarchicalLog:
         entry = LogEntry(key=key, size=size, seq=self._seq, page=-1)
         self.buckets[b][key] = entry
         self._buffer.append(entry)
+        self._buffer_buckets.append(b)
         self._buffer_bytes += size
         self._object_count += 1
         return True
@@ -148,13 +155,17 @@ class HierarchicalLog:
         if zone_id is None:
             return False
         payload = [(e.key, e.size, e.seq) for e in self._buffer]
-        page, _ = self.device.append(zone_id, payload, now_us=now_us)
-        for e in self._buffer:
-            b = self.bucket_of(e.key)
-            cur = self.buckets[b].get(e.key)
+        if self.device.latency is None:
+            page = self.device.append_page(zone_id, payload)
+        else:
+            page, _ = self.device.append(zone_id, payload, now_us=now_us)
+        buckets = self.buckets
+        for e, b in zip(self._buffer, self._buffer_buckets):
+            cur = buckets[b].get(e.key)
             if cur is not None and cur.seq == e.seq:
-                self.buckets[b][e.key] = LogEntry(e.key, e.size, e.seq, page)
+                buckets[b][e.key] = LogEntry(e.key, e.size, e.seq, page)
         self._buffer.clear()
+        self._buffer_buckets.clear()
         self._buffer_bytes = 0
         if self.device.zones[zone_id].remaining_pages == 0:
             self._open_zone = None

@@ -62,12 +62,14 @@ class _SetMirror:
         self.objects: dict[int, int] = {}
         self.used_bytes = 0
 
-    def put(self, key: int, size: int) -> None:
+    def put(self, key: int, size: int) -> int | None:
+        """Insert/refresh ``key``; returns the replaced size (None if new)."""
         old = self.objects.pop(key, None)
         if old is not None:
             self.used_bytes -= old
         self.objects[key] = size
         self.used_bytes += size
+        return old
 
     def pop_oldest(self) -> tuple[int, int]:
         key, size = next(iter(self.objects.items()))
@@ -154,6 +156,10 @@ class HierarchicalSet:
             )
         self.sets = [_SetMirror() for _ in range(self.num_sets)]
         self.location = [-1] * self.num_sets  # set id -> current flash page
+        #: Resident objects (mirrors + promotion staging), maintained
+        #: incrementally at every mutation site so the harness's
+        #: per-sample ``object_count`` probe never re-scans the sets.
+        self._object_count = 0
 
         self.victim_policy = victim_policy
         #: flash page -> owning set id (-1 = no current copy), flat
@@ -213,6 +219,10 @@ class HierarchicalSet:
         return None
 
     def object_count(self) -> int:
+        return self._object_count
+
+    def recount_objects(self) -> int:
+        """O(num_sets) recount (tests/debug); equals :meth:`object_count`."""
         n = sum(len(s.objects) for s in self.sets)
         if self.hot_cold:
             n += sum(len(p) for p in self.pending_promotions)
@@ -276,13 +286,18 @@ class HierarchicalSet:
                 )
 
         new_bytes = 0
+        added = 0
+        mirror_put = mirror.put
+        page_size = self.page_size
         for key, size in new_objs:
-            if size > self.page_size:
+            if size > page_size:
                 raise ObjectTooLargeError(
-                    f"object of {size} B exceeds the {self.page_size} B set"
+                    f"object of {size} B exceeds the {page_size} B set"
                 )
             new_bytes += size
-            mirror.put(key, size)
+            if mirror_put(key, size) is None:
+                added += 1
+        self._object_count += added
 
         self._shrink_to_fit(set_id, bucket)
         self._append_set_page(set_id, now_us=now_us)
@@ -296,8 +311,12 @@ class HierarchicalSet:
         is_cold = self.hot_cold and set_id < self.num_buckets
         while mirror.used_bytes > self.page_size:
             key, size = mirror.pop_oldest()
+            self._object_count -= 1
             if is_cold and bucket is not None and self.is_hot(key):
-                self.pending_promotions[bucket][key] = size
+                pending = self.pending_promotions[bucket]
+                if key not in pending:
+                    self._object_count += 1
+                pending[key] = size
             else:
                 self.on_evict(key, size)
 
@@ -395,6 +414,7 @@ class HierarchicalSet:
         if sum(pending.values()) < self.promote_batch_bytes:
             return
         objs = list(pending.items())
+        self._object_count -= len(objs)
         pending.clear()
         self._write_set(
             self.hot_set_of(bucket),
@@ -558,6 +578,7 @@ class HierarchicalSet:
         mirror = self.sets[set_id]
         for key, size in list(mirror.objects.items()):
             self.on_evict(key, size)
+        self._object_count -= len(mirror.objects)
         mirror.objects.clear()
         mirror.used_bytes = 0
         old = self.location[set_id]

@@ -18,7 +18,8 @@ from __future__ import annotations
 from collections import deque
 
 from repro.baselines.base import CacheEngine, LookupResult
-from repro.errors import ConfigError, ObjectTooLargeError
+from repro.errors import ConfigError, ObjectTooLargeError, ReadError
+from repro.flash.device import PAGE_PROGRAMMED
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
 from repro.flash.zns import ZNSDevice
@@ -125,6 +126,100 @@ class LogStructuredCache(CacheEngine):
         self._remove_index_entry(key)
         self.counters.deletes += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Bulk request paths (batched replay dispatch)
+    # ------------------------------------------------------------------
+    # Inlined run loops with the index dict and counters bound to
+    # locals; request/stat counters accumulate per run and flush once
+    # (nothing samples them mid-run — see ``baselines/base.py`` for the
+    # bulk contract).  Semantics are identical to the scalar methods.
+
+    def lookup_many(
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+        record=None,
+    ) -> float:
+        index_get = self._index.get
+        insert = self.insert
+        device = self.device
+        fast_dev = device.latency is None
+        state = device.nand._state
+        hits = 0
+        read_bytes = 0
+        flash_reads = 0
+        for key, size in zip(keys, sizes):
+            entry = index_get(key)
+            if entry is None:
+                if record is not None:
+                    record(0.0)
+                insert(key, size, now_us)
+                now_us += step_us
+                continue
+            page, obj_size = entry
+            hits += 1
+            read_bytes += obj_size
+            if page < 0:  # still in the write buffer
+                if record is not None:
+                    record(0.0)
+            elif fast_dev:
+                if state[page] != PAGE_PROGRAMMED:
+                    raise ReadError(f"page {page} is not programmed")
+                flash_reads += 1
+                if record is not None:
+                    record(0.0)
+            else:
+                _, lat = device.read(page, now_us=now_us)
+                if record is not None:
+                    record(lat)
+            now_us += step_us
+        counters = self.counters
+        counters.lookups += len(keys)
+        counters.hits += hits
+        self.stats.logical_read_bytes += read_bytes
+        if flash_reads:
+            device.nand.read_count += flash_reads
+            nbytes = self.geometry.page_size * flash_reads
+            stats = self.stats
+            stats.host_read_bytes += nbytes
+            stats.host_read_ops += flash_reads
+            stats.flash_read_bytes += nbytes
+        return now_us
+
+    def insert_many(
+        self, keys: list[int], sizes: list[int], now_us: float, step_us: float
+    ) -> float:
+        page_size = self.geometry.page_size
+        header = self.object_header_bytes
+        index = self._index
+        buffer_append = self._buffer.append
+        inserts = 0
+        insert_bytes = 0
+        for key, size in zip(keys, sizes):
+            stored = size + header
+            if stored > page_size:
+                raise ObjectTooLargeError(
+                    f"object of {size} B (+{header} B header) "
+                    f"exceeds the {page_size} B page"
+                )
+            if key in index:
+                del index[key]
+            inserts += 1
+            insert_bytes += size
+            if self._buffer_bytes + stored > page_size:
+                self._flush_buffer(now_us=now_us)
+            buffer_append((key, size))
+            self._buffer_bytes += stored
+            index[key] = (-1, size)
+            now_us += step_us
+        counters = self.counters
+        counters.inserts += inserts
+        counters.insert_bytes += insert_bytes
+        self.stats.logical_write_bytes += insert_bytes
+        return now_us
 
     def object_count(self) -> int:
         return len(self._index)

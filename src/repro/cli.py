@@ -8,6 +8,12 @@ the paper's headline metrics.  Examples::
     python -m repro --engine fw --zones 24 --requests 500000
     python -m repro --engine all --requests 200000
     python -m repro --engine nemo --trace-csv cluster52.csv --requests 1000000
+
+The ``profile`` subcommand runs one experiment under ``cProfile`` and
+prints the hottest call sites, so perf work starts from data::
+
+    python -m repro profile fig12 --scale micro
+    python -m repro profile fig15 --scale small --lines 30
 """
 
 from __future__ import annotations
@@ -83,7 +89,41 @@ def make_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def profile_main(argv: list[str]) -> int:
+    """``python -m repro profile <experiment>``: cProfile one cell."""
+    import cProfile
+    import pstats
+
+    from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Run one experiment under cProfile and print the "
+        "top cumulative-time entries.",
+    )
+    parser.add_argument("experiment", choices=EXPERIMENTS)
+    parser.add_argument(
+        "--scale", choices=["micro", "small", "full"], default="micro"
+    )
+    parser.add_argument(
+        "--lines", type=int, default=20, help="profile rows to print"
+    )
+    args = parser.parse_args(argv)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_experiment(args.experiment, scale=args.scale, jobs=1)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(args.lines)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     args = make_parser().parse_args(argv)
     geometry = FlashGeometry(
         page_size=4096,

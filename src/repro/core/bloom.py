@@ -103,12 +103,48 @@ class BloomFilter:
             self._bits |= 1 << bit
         self.count += 1
 
+    def add_many(self, keys) -> None:
+        """Bulk :meth:`add`: identical bits and count, one inlined loop.
+
+        The probe generator is unrolled with local bindings (the bit
+        array, modulus and probe count), which matters when an SG flush
+        populates tens of filters with dozens of keys each.
+        """
+        m = self.num_bits
+        k = self.num_hashes
+        bits = self._bits
+        n = 0
+        for key in keys:
+            n += 1
+            h1, h2 = hash_pair(key)
+            for i in range(k):
+                bits |= 1 << ((h1 + i * h2) % m)
+        self._bits = bits
+        self.count += n
+
     def __contains__(self, key: int) -> bool:
         bits = self._bits
         for bit in self._probes(key):
             if not (bits >> bit) & 1:
                 return False
         return True
+
+    def contains_many(self, keys) -> list[bool]:
+        """Bulk membership test: ``[key in self for key in keys]``."""
+        m = self.num_bits
+        k = self.num_hashes
+        bits = self._bits
+        out = []
+        append = out.append
+        for key in keys:
+            h1, h2 = hash_pair(key)
+            member = True
+            for i in range(k):
+                if not (bits >> ((h1 + i * h2) % m)) & 1:
+                    member = False
+                    break
+            append(member)
+        return out
 
     def clear(self) -> None:
         self._bits = 0

@@ -20,6 +20,7 @@ burst (now cooled) cannot masquerade as long-term popularity.
 
 from __future__ import annotations
 
+from array import array
 from typing import Callable
 
 from repro.errors import ConfigError
@@ -37,6 +38,10 @@ class HotnessTracker:
         index currently cached?  (Provided by the index cache.)
     page_of_offset:
         ``offset -> page_idx`` from the index layout.
+    num_offsets:
+        When given, the offset→page-index mapping is precomputed into a
+        flat array so the hot-path verdicts (``is_hot``, ``cool``) index
+        a table instead of calling ``page_of_offset``.
     """
 
     def __init__(
@@ -45,12 +50,18 @@ class HotnessTracker:
         *,
         page_idx_cached: Callable[[int], bool],
         page_of_offset: Callable[[int], int],
+        num_offsets: int | None = None,
     ) -> None:
         if not 0.0 <= window_fraction <= 1.0:
             raise ConfigError("window_fraction must be in [0, 1]")
         self.window_fraction = window_fraction
         self._page_idx_cached = page_idx_cached
         self._page_of_offset = page_of_offset
+        self._offset_page: array | None = (
+            array("q", [page_of_offset(o) for o in range(num_offsets)])
+            if num_offsets is not None
+            else None
+        )
         #: key -> intra-SG offset (the "set bit"); storing the offset
         #: makes cooling a pure bitmap sweep without re-hashing.
         self._bits: dict[int, int] = {}
@@ -68,7 +79,11 @@ class HotnessTracker:
         offset = self._bits.get(key)
         if offset is None:
             return False
-        return self._page_idx_cached(self._page_of_offset(offset))
+        table = self._offset_page
+        page_idx = (
+            table[offset] if table is not None else self._page_of_offset(offset)
+        )
+        return self._page_idx_cached(page_idx)
 
     def discard(self, key: int) -> None:
         self._bits.pop(key, None)
@@ -79,11 +94,21 @@ class HotnessTracker:
         Returns the number of bits cleared.
         """
         self.coolings += 1
-        survivors = {
-            key: offset
-            for key, offset in self._bits.items()
-            if self._page_idx_cached(self._page_of_offset(offset))
-        }
+        cached = self._page_idx_cached
+        table = self._offset_page
+        if table is not None:
+            survivors = {
+                key: offset
+                for key, offset in self._bits.items()
+                if cached(table[offset])
+            }
+        else:
+            page_of = self._page_of_offset
+            survivors = {
+                key: offset
+                for key, offset in self._bits.items()
+                if cached(page_of(offset))
+            }
         cleared = len(self._bits) - len(survivors)
         self._bits = survivors
         self.bits_cleared += cleared

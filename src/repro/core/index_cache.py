@@ -20,6 +20,7 @@ guarantees happens oldest-first.
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter, OrderedDict, deque
 from dataclasses import dataclass, field
 
@@ -39,14 +40,24 @@ class IndexCache:
     at capacity (plain FIFO — re-access does not refresh position).
     """
 
-    def __init__(self, capacity_pages: int) -> None:
+    def __init__(
+        self, capacity_pages: int, *, num_page_indices: int | None = None
+    ) -> None:
         if capacity_pages < 0:
             raise ConfigError("capacity_pages must be non-negative")
         self.capacity = capacity_pages
         self._fifo: OrderedDict[PageKey, None] = OrderedDict()
         #: page-index occupancy, for the hotness tracker's
-        #: "is this offset's PBFG cached?" test (Fig. 11).
-        self._page_idx_counts: Counter[int] = Counter()
+        #: "is this offset's PBFG cached?" test (Fig. 11).  When the
+        #: page-index range is known up front (the engine passes
+        #: ``layout.pages_per_group``) the counters live in a flat
+        #: ``array('q')`` keyed by page index — no hashing, no
+        #: missing-key bookkeeping; otherwise a Counter fallback.
+        self._flat_counts = num_page_indices is not None
+        if self._flat_counts:
+            self._page_idx_counts = array("q", bytes(8 * num_page_indices))
+        else:
+            self._page_idx_counts = Counter()
         self.hits = 0
         self.misses = 0
 
@@ -72,9 +83,10 @@ class IndexCache:
         return False
 
     def _dec(self, page_idx: int) -> None:
-        self._page_idx_counts[page_idx] -= 1
-        if self._page_idx_counts[page_idx] <= 0:
-            del self._page_idx_counts[page_idx]
+        counts = self._page_idx_counts
+        counts[page_idx] -= 1
+        if not self._flat_counts and counts[page_idx] <= 0:
+            del counts[page_idx]
 
     def drop_group(self, group_id: int) -> None:
         """Remove a dead group's pages (its SGs were all evicted)."""
@@ -85,6 +97,8 @@ class IndexCache:
 
     def page_idx_cached(self, page_idx: int) -> bool:
         """True when any cached page covers group-page ``page_idx``."""
+        if self._flat_counts:
+            return self._page_idx_counts[page_idx] > 0
         return self._page_idx_counts.get(page_idx, 0) > 0
 
     @property

@@ -46,7 +46,7 @@ from repro.errors import ConfigError, EngineStateError, ObjectTooLargeError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
 from repro.flash.zns import ZNSDevice
-from repro.hashing import hash64
+from repro.hashing import _MASK, hash64, splitmix64
 
 
 @dataclass
@@ -140,13 +140,24 @@ class NemoCache(CacheEngine):
                 * self.layout.pages_per_group
             )
         )
-        self.index_cache = IndexCache(cache_pages)
+        self.index_cache = IndexCache(
+            cache_pages, num_page_indices=self.layout.pages_per_group
+        )
         self.index_pool.on_group_dead = self.index_cache.drop_group
 
         self.hotness = HotnessTracker(
             self.config.hotness_window_fraction,
             page_idx_cached=self.index_cache.page_idx_cached,
             page_of_offset=self.layout.page_of_offset,
+            num_offsets=self.sets_per_sg,
+        )
+
+        # Hot-path constants: the seed mix of the key→offset hash (so
+        # the bulk paths inline the splitmix64 chain) and the hotness
+        # window limit in SG positions (hoisted out of `_in_window`).
+        self._hash_mix = splitmix64(self.config.hash_seed)
+        self._window_sgs = (
+            self.config.hotness_window_fraction * self.pool_capacity_sgs
         )
 
         # On-flash SG pool (FIFO, oldest first) and exact lookup maps.
@@ -221,7 +232,12 @@ class NemoCache(CacheEngine):
         offset = self._offset(key)
         if self.queue.try_insert(offset, key, size):
             return
-        # Blocked: the target set is full in every in-memory SG.
+        self._insert_blocked(offset, key, size, now_us)
+
+    def _insert_blocked(
+        self, offset: int, key: int, size: int, now_us: float
+    ) -> None:
+        """Slow path: the target set is full in every in-memory SG."""
         decision = self.flush_policy.decide()
         if decision is FlushDecision.MAKE_ROOM:
             evicted = self.queue.front.evict_from_set(offset, size)
@@ -250,29 +266,7 @@ class NemoCache(CacheEngine):
         if not self.pool:
             return LookupResult(hit=False)
 
-        flash_reads = 0
-        latency = 0.0
-
-        # --- PBFG consultation: one index page per live group ---------
-        self.pbfg_lookups += 1
-        miss_pages: list[int] = []
-        for page_key, physical in self.index_pool.pages_for_offset(offset):
-            self.pbfg_touches += 1
-            if not self.index_cache.access(page_key):
-                self.pbfg_pool_reads += 1
-                miss_pages.append(physical)
-        if miss_pages:
-            self.pbfg_lookups_from_pool += 1
-            _, lat = self.device.read_many(miss_pages, now_us=now_us)
-            flash_reads += len(miss_pages)
-            latency = max(latency, lat)
-
-        # --- Candidate SG identification -------------------------------
-        candidate_pages, holder = self._candidates(key, offset)
-        if candidate_pages:
-            _, lat = self.device.read_many(candidate_pages, now_us=now_us)
-            flash_reads += len(candidate_pages)
-            latency = max(latency, lat)
+        holder, flash_reads, latency = self._flash_lookup(key, offset, now_us)
 
         if holder is None:
             return LookupResult(
@@ -288,6 +282,163 @@ class NemoCache(CacheEngine):
         return LookupResult(
             hit=True, latency_us=latency, flash_reads=flash_reads, source="flash"
         )
+
+    def _flash_lookup(
+        self, key: int, offset: int, now_us: float
+    ) -> tuple[FlashSG | None, int, float]:
+        """PBFG consult + candidate reads for a memory-miss lookup.
+
+        Returns ``(holder, flash_reads, latency_us)``; the caller does
+        the hit accounting.  Without a latency model the page reads go
+        through the device's batched latency-free lane.
+        """
+        device = self.device
+        fast_dev = device.latency is None
+
+        # --- PBFG consultation: one index page per live group ---------
+        self.pbfg_lookups += 1
+        miss_pages: list[int] = []
+        for page_key, physical in self.index_pool.pages_for_offset(offset):
+            self.pbfg_touches += 1
+            if not self.index_cache.access(page_key):
+                self.pbfg_pool_reads += 1
+                miss_pages.append(physical)
+        flash_reads = 0
+        latency = 0.0
+        if miss_pages:
+            self.pbfg_lookups_from_pool += 1
+            if fast_dev:
+                device.read_pages(miss_pages)
+            else:
+                _, lat = device.read_many(miss_pages, now_us=now_us)
+                latency = max(latency, lat)
+            flash_reads += len(miss_pages)
+
+        # --- Candidate SG identification -------------------------------
+        candidate_pages, holder = self._candidates(key, offset)
+        if candidate_pages:
+            if fast_dev:
+                device.read_pages(candidate_pages)
+            else:
+                _, lat = device.read_many(candidate_pages, now_us=now_us)
+                latency = max(latency, lat)
+            flash_reads += len(candidate_pages)
+        return holder, flash_reads, latency
+
+    # ------------------------------------------------------------------
+    # Bulk replay paths (batched dispatch)
+    # ------------------------------------------------------------------
+    def lookup_many(
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+        record=None,
+    ) -> float:
+        """Batched GET run with read-through admission.
+
+        Per-request semantics, counter totals and RNG draw sequence are
+        identical to scalar ``lookup`` + ``insert``-on-miss; the key
+        hash is inlined (one splitmix64 chain), the in-memory probe
+        walks the SG-queue set dicts directly, and request counters are
+        accumulated locally and flushed once per run (nothing observes
+        them mid-run — the harness samples only at chunk boundaries).
+        """
+        counters = self.counters
+        queue_dq = self.queue._queue
+        pool = self.pool
+        mix = self._hash_mix
+        mask = _MASK
+        spsg = self.sets_per_sg
+        set_size = self.set_size
+        try_insert = self.queue.try_insert
+        flash_lookup = self._flash_lookup
+        record_access = self.hotness.record_access
+        window_sgs = self._window_sgs
+        lookups = hits = inserts = insert_bytes = read_bytes = 0
+        for key, size in zip(keys, sizes):
+            lookups += 1
+            z = (((key & mask) ^ mix) + 0x9E3779B97F4A7C15) & mask
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+            offset = (z ^ (z >> 31)) % spsg
+            mem_size = None
+            for sg in queue_dq:
+                mem_size = sg.sets[offset].objects.get(key)
+                if mem_size is not None:
+                    break
+            if mem_size is not None:
+                hits += 1
+                read_bytes += mem_size
+                if record is not None:
+                    record(0.0)
+                now_us += step_us
+                continue
+            if pool:
+                holder, _reads, latency = flash_lookup(key, offset, now_us)
+                if record is not None:
+                    record(latency)
+                if holder is not None:
+                    hits += 1
+                    read_bytes += holder.sets[offset][key]
+                    record_access(
+                        key,
+                        offset,
+                        in_window=(holder.sg_id - pool[0].sg_id) < window_sgs,
+                    )
+                    now_us += step_us
+                    continue
+            elif record is not None:
+                record(0.0)
+            # Miss: read-through admission (offset hash reused).
+            if size > set_size:
+                raise ObjectTooLargeError(
+                    f"object of {size} B exceeds the {set_size} B set"
+                )
+            inserts += 1
+            insert_bytes += size
+            if not try_insert(offset, key, size):
+                self._insert_blocked(offset, key, size, now_us)
+            now_us += step_us
+        counters.lookups += lookups
+        counters.hits += hits
+        counters.inserts += inserts
+        counters.insert_bytes += insert_bytes
+        stats = self.stats
+        stats.logical_write_bytes += insert_bytes
+        stats.logical_read_bytes += read_bytes
+        return now_us
+
+    def insert_many(
+        self, keys: list[int], sizes: list[int], now_us: float, step_us: float
+    ) -> float:
+        """Batched SET run: scalar ``insert`` semantics, hash inlined."""
+        counters = self.counters
+        mix = self._hash_mix
+        mask = _MASK
+        spsg = self.sets_per_sg
+        set_size = self.set_size
+        try_insert = self.queue.try_insert
+        inserts = insert_bytes = 0
+        for key, size in zip(keys, sizes):
+            if size > set_size:
+                raise ObjectTooLargeError(
+                    f"object of {size} B exceeds the {set_size} B set"
+                )
+            inserts += 1
+            insert_bytes += size
+            z = (((key & mask) ^ mix) + 0x9E3779B97F4A7C15) & mask
+            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+            offset = (z ^ (z >> 31)) % spsg
+            if not try_insert(offset, key, size):
+                self._insert_blocked(offset, key, size, now_us)
+            now_us += step_us
+        counters.inserts += inserts
+        counters.insert_bytes += insert_bytes
+        self.stats.logical_write_bytes += insert_bytes
+        return now_us
 
     def delete(self, key: int) -> bool:
         offset = self._offset(key)
@@ -397,8 +548,7 @@ class NemoCache(CacheEngine):
         """Is this SG in the oldest ``hotness_window_fraction`` of the pool?"""
         if not self.pool:
             return False
-        position = sg_id - self.pool[0].sg_id
-        return position < self.config.hotness_window_fraction * self.pool_capacity_sgs
+        return (sg_id - self.pool[0].sg_id) < self._window_sgs
 
     # ------------------------------------------------------------------
     # Flush + eviction

@@ -145,10 +145,11 @@ class IndexGroupBuilder:
         if not self.real_filters:
             return None
         filters = []
+        filter_bits = self.layout.filter_bits
+        num_hashes = self.layout.num_hashes
         for objs in payloads:
-            bf = BloomFilter(self.layout.filter_bits, self.layout.num_hashes)
-            for key in objs:
-                bf.add(key)
+            bf = BloomFilter(filter_bits, num_hashes)
+            bf.add_many(objs)
             filters.append(bf)
         return filters
 

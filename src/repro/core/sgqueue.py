@@ -64,11 +64,16 @@ class SetGroupQueue:
         (whichever SG holds it), keeping a single current copy in
         memory.  Returns False when every SG's target set is full —
         the flush-policy trigger.
+
+        The membership pass probes the per-set dicts directly (the
+        `sg.find` indirection hoisted out — this runs once per insert
+        over every queued SG).
         """
-        for sg in self._queue:
-            if sg.find(offset, key) is not None:
+        queue = self._queue
+        for sg in queue:
+            if key in sg.sets[offset].objects:
                 return sg.try_insert(offset, key, size, writeback=writeback)
-        for sg in self._queue:
+        for sg in queue:
             if sg.try_insert(offset, key, size, writeback=writeback):
                 return True
         return False
@@ -76,7 +81,7 @@ class SetGroupQueue:
     def find(self, offset: int, key: int) -> int | None:
         """Size of ``key`` if resident in any queued SG, else None."""
         for sg in self._queue:
-            size = sg.find(offset, key)
+            size = sg.sets[offset].objects.get(key)
             if size is not None:
                 return size
         return None

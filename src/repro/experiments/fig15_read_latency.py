@@ -19,8 +19,12 @@ from repro.baselines.fairywren import FairyWrenCache
 from repro.core.nemo import NemoCache
 from repro.experiments.common import nemo_config, scale_params, twitter_trace
 from repro.flash.latency import LatencyModel
+from repro.harness.parallel import Cell, run_cells
 from repro.harness.report import format_table
 from repro.harness.runner import LATENCY_PERCENTILES, replay
+
+#: The three systems of the figure, in presentation order.
+SYSTEMS = ("Nemo", "Nemo-fullidx", "FW")
 
 
 @dataclass
@@ -45,42 +49,60 @@ class Fig15Result:
         return "Figure 15: read latency around the flash-full point\n" + table
 
 
-def run(scale: str = "small") -> Fig15Result:
-    geometry, num_requests = scale_params(scale)
-    trace = twitter_trace(num_requests)
-    result = Fig15Result()
-
-    systems = [
-        ("Nemo", lambda lat: NemoCache(geometry, nemo_config(), latency=lat)),
+def _build_system(name: str, geometry, latency: LatencyModel):
+    if name == "Nemo":
+        return NemoCache(geometry, nemo_config(), latency=latency)
+    if name == "Nemo-fullidx":
         # Same engine with the whole PBFG index cached: isolates the
         # paper's write-interference mechanism from index-pool reads,
         # which at MiB scale miss far more often than the paper's <8 %
         # (see Fig. 19b's scale discussion).
-        (
-            "Nemo-fullidx",
-            lambda lat: NemoCache(
-                geometry, nemo_config(cached_index_ratio=1.0), latency=lat
-            ),
-        ),
-        (
-            "FW",
-            lambda lat: FairyWrenCache(
-                geometry, log_fraction=0.05, op_ratio=0.05, latency=lat
-            ),
-        ),
-    ]
-    for name, factory in systems:
-        engine = factory(LatencyModel(num_channels=8))
-        r = replay(
-            engine,
-            trace,
-            record_latency=True,
-            mark_window_at=num_requests // 2,
-            arrival_rate=50_000.0,
+        return NemoCache(
+            geometry, nemo_config(cached_index_ratio=1.0), latency=latency
         )
-        before, after = r.latency.window_percentiles(LATENCY_PERCENTILES)
-        result.windows[name] = {"before": before, "after": after}
+    if name == "FW":
+        return FairyWrenCache(
+            geometry, log_fraction=0.05, op_ratio=0.05, latency=latency
+        )
+    raise KeyError(f"unknown fig15 system {name!r}")
+
+
+def _system_cell(scale: str, name: str) -> dict:
+    """Replay one system with latency recording (spawn-safe)."""
+    geometry, num_requests = scale_params(scale)
+    trace = twitter_trace(num_requests)
+    engine = _build_system(name, geometry, LatencyModel(num_channels=8))
+    r = replay(
+        engine,
+        trace,
+        record_latency=True,
+        mark_window_at=num_requests // 2,
+        arrival_rate=50_000.0,
+    )
+    before, after = r.latency.window_percentiles(LATENCY_PERCENTILES)
+    return {"name": name, "before": before, "after": after}
+
+
+def cells(scale: str) -> list[Cell]:
+    return [
+        Cell(f"fig15/{name}", _system_cell, (scale, name)) for name in SYSTEMS
+    ]
+
+
+def assemble(payloads: list[dict]) -> Fig15Result:
+    result = Fig15Result()
+    for p in payloads:
+        # Percentile keys are floats in-process but strings after a JSON
+        # round-trip (the parity goldens); normalise back to floats.
+        result.windows[p["name"]] = {
+            phase: {float(q): v for q, v in p[phase].items()}
+            for phase in ("before", "after")
+        }
     return result
+
+
+def run(scale: str = "small", jobs: int | None = 1) -> Fig15Result:
+    return assemble(run_cells(cells(scale), jobs=jobs))
 
 
 def main() -> None:  # pragma: no cover - CLI entry

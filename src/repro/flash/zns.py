@@ -177,6 +177,23 @@ class ZNSDevice:
         stats.flash_read_bytes += nbytes
         return payload
 
+    def read_pages(self, pages: list[int]) -> None:
+        """Latency-free batched read for hot paths that discard payloads.
+
+        Equivalent to ``read_many(pages)`` with no latency model when the
+        caller ignores the payloads (e.g. Nemo's PBFG consults and
+        candidate-set probes, which resolve membership through in-memory
+        maps): the per-page NAND reads and host-read accounting are
+        batched — identical counter totals, no payload list.
+        """
+        self.nand.read_pages(pages)
+        n = len(pages)
+        nbytes = self.geometry.page_size * n
+        stats = self.stats
+        stats.host_read_bytes += nbytes
+        stats.host_read_ops += n
+        stats.flash_read_bytes += nbytes
+
     def read_many(self, pages: list[int], *, now_us: float = 0.0) -> tuple[list[Any], float]:
         """Parallel page reads; latency is that of the slowest read."""
         payloads = []

@@ -1,0 +1,96 @@
+"""Property tests: bulk fast paths match their scalar references exactly.
+
+The vectorized request pipeline leans on two bulk primitives whose
+results must be bit-for-bit identical to the scalar paths they replace:
+
+- :meth:`BloomFilter.add_many` / :meth:`BloomFilter.contains_many`
+  versus per-key ``add`` / ``__contains__``;
+- :meth:`ZipfGenerator.sample` drawing one batch versus the same seeded
+  generator drawing the stream in arbitrary smaller pieces.
+
+Hypothesis drives both over adversarial key sets, filter geometries and
+batch splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bloom import BloomFilter
+from repro.workloads.zipf import ZipfGenerator
+
+_keys = st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=60)
+
+
+class TestBloomBulkEquivalence:
+    @given(
+        keys=_keys,
+        num_bits=st.integers(min_value=8, max_value=1024),
+        num_hashes=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_add_many_matches_scalar_add(self, keys, num_bits, num_hashes):
+        scalar = BloomFilter(num_bits, num_hashes)
+        bulk = BloomFilter(num_bits, num_hashes)
+        for key in keys:
+            scalar.add(key)
+        bulk.add_many(keys)
+        assert bulk._bits == scalar._bits
+        assert bulk.count == scalar.count
+
+    @given(
+        added=_keys,
+        queried=_keys,
+        num_bits=st.integers(min_value=8, max_value=1024),
+        num_hashes=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_contains_many_matches_scalar_contains(
+        self, added, queried, num_bits, num_hashes
+    ):
+        bf = BloomFilter(num_bits, num_hashes)
+        bf.add_many(added)
+        # Query a mix of members and non-members.
+        queries = added + queried
+        assert bf.contains_many(queries) == [key in bf for key in queries]
+
+
+class TestZipfBulkEquivalence:
+    @given(
+        num_keys=st.integers(min_value=1, max_value=500),
+        alpha=st.floats(min_value=0.0, max_value=2.0,
+                        allow_nan=False, allow_infinity=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        shuffle=st.booleans(),
+        splits=st.lists(st.integers(min_value=0, max_value=40),
+                        min_size=1, max_size=6),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_split_batches_match_single_draw(
+        self, num_keys, alpha, seed, shuffle, splits
+    ):
+        total = sum(splits)
+        whole = ZipfGenerator(
+            num_keys, alpha, seed=seed, shuffle=shuffle
+        ).sample(total)
+        pieces_gen = ZipfGenerator(num_keys, alpha, seed=seed, shuffle=shuffle)
+        pieces = [pieces_gen.sample(n) for n in splits]
+        assert np.array_equal(whole, np.concatenate(pieces))
+
+    @given(
+        num_keys=st.integers(min_value=1, max_value=200),
+        alpha=st.floats(min_value=0.0, max_value=2.0,
+                        allow_nan=False, allow_infinity=False),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        count=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bulk_draw_matches_one_at_a_time_reference(
+        self, num_keys, alpha, seed, count
+    ):
+        bulk = ZipfGenerator(num_keys, alpha, seed=seed).sample(count)
+        ref_gen = ZipfGenerator(num_keys, alpha, seed=seed)
+        reference = [int(ref_gen.sample(1)[0]) for _ in range(count)]
+        assert bulk.tolist() == reference

@@ -26,6 +26,8 @@ GOLDEN_PATH = Path(__file__).parent / "golden_metrics_micro.json"
 def _compute_cells() -> dict:
     from repro.experiments import fig12_wa_main as f12
     from repro.experiments import fig14_wa_trend as f14
+    from repro.experiments import fig15_read_latency as f15
+    from repro.experiments import fig16_miss_ratio as f16
 
     fig12 = [
         f12._main_cell("micro", i) for i in range(len(f12.PAPER_WA))
@@ -38,9 +40,17 @@ def _compute_cells() -> dict:
         f14._system_cell("micro", name, log_fraction, op_ratio)
         for name, log_fraction, op_ratio in f14.SYSTEMS
     ]
+    # fig15 exercises the latency-model datapath (record_latency +
+    # window percentiles); fig16 the sampled-series datapath.
+    fig15 = [f15._system_cell("micro", name) for name in f15.SYSTEMS]
+    fig16 = [f16._system_cell("micro", name) for name in f16.SYSTEMS]
     # Round-trip through JSON so tuples/lists and int/float widths
     # compare on equal footing with the stored golden file.
-    return json.loads(json.dumps({"fig12": fig12, "fig14": fig14}))
+    return json.loads(
+        json.dumps(
+            {"fig12": fig12, "fig14": fig14, "fig15": fig15, "fig16": fig16}
+        )
+    )
 
 
 def _assert_identical(new, golden, path=""):
@@ -83,6 +93,12 @@ class TestMetricParity:
 
     def test_fig14_cells_byte_identical(self, cells, golden):
         _assert_identical(cells["fig14"], golden["fig14"], "fig14")
+
+    def test_fig15_cells_byte_identical(self, cells, golden):
+        _assert_identical(cells["fig15"], golden["fig15"], "fig15")
+
+    def test_fig16_cells_byte_identical(self, cells, golden):
+        _assert_identical(cells["fig16"], golden["fig16"], "fig16")
 
 
 def main() -> None:

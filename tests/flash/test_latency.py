@@ -118,3 +118,94 @@ class TestState:
         lat = model.program(0, 0.0)
         # Writes do not preempt erases.
         assert lat >= t.erase_us
+
+
+class TestHandComputedTimelines:
+    """Exact timelines the event-batched rewrite must preserve.
+
+    Default timings: read 65, program 350, erase 3500, transfer 12,
+    suspend floor 180 (µs).
+    """
+
+    def test_erase_suspend_timeline(self):
+        m = LatencyModel(num_channels=4, read_cache_pages=0)
+        assert m.erase(0, 0.0) == 3500.0  # ch0 busy until 3500
+        # Read at t=100 behind the erase: starts at min(3500, 100+180)
+        # = 280, finishes 345, + 12 transfer => 257 total.
+        assert m.read(0, 100.0) == 257.0
+        # The read did not shorten the erase horizon: a program at
+        # t=400 still waits for the full erase (3500-400+350+12).
+        assert m.program(0, 400.0) == 3462.0
+
+    def test_background_reads_stay_suspendable(self):
+        """A foreground read jumps a background-read backlog."""
+        fg = LatencyModel(num_channels=8, read_cache_pages=0)
+        bg = LatencyModel(num_channels=8, read_cache_pages=0)
+        # Five serialised reads on channel 0 build a 325 µs backlog.
+        for i in range(5):
+            fg.read(8 * i, 0.0, background=False)
+            bg.read(8 * i, 0.0, background=True)
+        # Behind foreground reads: waits the whole backlog.
+        # 325 + 65 + 12 = 402.
+        assert fg.read(0, 0.0) == 402.0
+        # Behind background reads: bounded by the suspend floor.
+        # min(325, 0+180) + 65 + 12 = 257.
+        assert bg.read(0, 0.0) == 257.0
+
+    def test_read_buffer_hit_occupies_no_channel(self):
+        m = LatencyModel(num_channels=4, read_cache_pages=8)
+        assert m.read(0, 0.0) == 77.0  # 65 + 12, ch0 busy until 65
+        # Buffered re-read: transfer only, channel untouched.
+        assert m.read(0, 0.0) == m.timings.transfer_us
+        # Page 4 (also ch0) queues behind the *first* read only:
+        # 65 + 65 + 12 = 142, not 130 + 65 + 12.
+        assert m.read(4, 0.0) == 142.0
+
+    def test_program_timeline_not_suspendable_for_writes(self):
+        m = LatencyModel(num_channels=4, read_cache_pages=0)
+        assert m.program(0, 0.0) == 362.0  # 350 + 12
+        # A second program waits the full first one: 350+350+12.
+        assert m.program(0, 0.0) == 712.0
+        # A read behind both is floor-bounded: min(700,180)+65+12.
+        assert m.read(0, 0.0) == 257.0
+
+
+class TestBatchLanesMatchScalar:
+    """read_many/program_many == per-page scalar calls, state included."""
+
+    def _pages(self):
+        # Repeats (cache hits), channel collisions, fresh pages.
+        return [0, 3, 8, 0, 11, 8, 5, 16, 3, 24, 1, 0]
+
+    def test_read_many_matches_scalar_reference(self):
+        for cache_pages in (0, 2, 64):
+            for background in (False, True):
+                batched = LatencyModel(
+                    num_channels=8, read_cache_pages=cache_pages
+                )
+                scalar = LatencyModel(
+                    num_channels=8, read_cache_pages=cache_pages
+                )
+                scalar.program(2, 0.0)  # pre-existing channel state
+                batched.program(2, 0.0)
+                got = batched.read_many(
+                    self._pages(), 50.0, background=background
+                )
+                want = max(
+                    scalar.read(p, 50.0, background=background)
+                    for p in self._pages()
+                )
+                assert got == want
+                assert list(batched._busy_until) == list(scalar._busy_until)
+                assert batched._busy_is_program == scalar._busy_is_program
+                assert batched._read_cache == scalar._read_cache
+
+    def test_program_many_matches_scalar_reference(self):
+        batched = LatencyModel(num_channels=8, read_cache_pages=0)
+        scalar = LatencyModel(num_channels=8, read_cache_pages=0)
+        pages = list(range(20)) + [0, 8, 3]
+        got = batched.program_many(pages, 10.0)
+        want = max(scalar.program(p, 10.0) for p in pages)
+        assert got == want
+        assert list(batched._busy_until) == list(scalar._busy_until)
+        assert batched._busy_is_program == scalar._busy_is_program

@@ -34,6 +34,19 @@ class TestBuildEngine:
             build_engine("bogus", geometry, args)
 
 
+class TestProfile:
+    def test_profile_subcommand(self, capsys):
+        rc = main(["profile", "table6", "--scale", "micro", "--lines", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "function calls" in out
+
+    def test_profile_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "bogus"])
+
+
 class TestEndToEnd:
     def test_synthetic_replay(self, capsys):
         rc = main(
