@@ -13,7 +13,6 @@ records both arms in ``extra_info``:
 from __future__ import annotations
 
 from benchmarks.conftest import run_once
-from repro.baselines.kangaroo import KangarooCache
 from repro.core.config import FlushPolicyKind, NemoConfig
 from repro.core.nemo import NemoCache
 from repro.core.pbfg import IndexLayout

@@ -8,7 +8,6 @@ latency model.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.baselines.fairywren import FairyWrenCache

@@ -22,7 +22,8 @@ Semantics shared by all engines:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.flash.stats import FlashStats
 
@@ -119,7 +120,7 @@ class CacheEngine(abc.ABC):
         sizes: list[int],
         now_us: float,
         step_us: float,
-        record=None,
+        record: Callable[[float], None] | None = None,
     ) -> float:
         """Process one GET run; ``record`` (if given) receives each
         request's service latency in order."""

@@ -124,6 +124,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = make_parser().parse_args(argv)
     geometry = FlashGeometry(
         page_size=4096,

@@ -20,6 +20,7 @@ same math here.
 from __future__ import annotations
 
 import math
+from typing import Iterable, Iterator
 
 from repro.errors import ConfigError
 from repro.hashing import hash_pair
@@ -92,7 +93,7 @@ class BloomFilter:
             bloom_num_hashes(false_positive_rate),
         )
 
-    def _probes(self, key: int):
+    def _probes(self, key: int) -> Iterator[int]:
         h1, h2 = hash_pair(key)
         m = self.num_bits
         for i in range(self.num_hashes):
@@ -103,7 +104,7 @@ class BloomFilter:
             self._bits |= 1 << bit
         self.count += 1
 
-    def add_many(self, keys) -> None:
+    def add_many(self, keys: Iterable[int]) -> None:
         """Bulk :meth:`add`: identical bits and count, one inlined loop.
 
         The probe generator is unrolled with local bindings (the bit
@@ -129,12 +130,12 @@ class BloomFilter:
                 return False
         return True
 
-    def contains_many(self, keys) -> list[bool]:
+    def contains_many(self, keys: Iterable[int]) -> list[bool]:
         """Bulk membership test: ``[key in self for key in keys]``."""
         m = self.num_bits
         k = self.num_hashes
         bits = self._bits
-        out = []
+        out: list[bool] = []
         append = out.append
         for key in keys:
             h1, h2 = hash_pair(key)

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Any
 
 from repro.errors import ConfigError
 
@@ -137,7 +138,7 @@ class NemoConfig:
         buffered: bool,
         delayed: bool,
         writeback: bool,
-        **overrides,
+        **overrides: Any,
     ) -> "NemoConfig":
         """Config for one cell of the Figure 17 ablation grid."""
         return cls(

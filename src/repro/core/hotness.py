@@ -57,7 +57,7 @@ class HotnessTracker:
         self.window_fraction = window_fraction
         self._page_idx_cached = page_idx_cached
         self._page_of_offset = page_of_offset
-        self._offset_page: array | None = (
+        self._offset_page: array[int] | None = (
             array("q", [page_of_offset(o) for o in range(num_offsets)])
             if num_offsets is not None
             else None

@@ -23,6 +23,7 @@ from __future__ import annotations
 from array import array
 from collections import Counter, OrderedDict, deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.pbfg import IndexLayout
 from repro.errors import ConfigError, EngineStateError
@@ -53,10 +54,12 @@ class IndexCache:
         #: ``layout.pages_per_group``) the counters live in a flat
         #: ``array('q')`` keyed by page index — no hashing, no
         #: missing-key bookkeeping; otherwise a Counter fallback.
-        self._flat_counts = num_page_indices is not None
-        if self._flat_counts:
+        self._page_idx_counts: array[int] | Counter[int]
+        if num_page_indices is not None:
+            self._flat_counts = True
             self._page_idx_counts = array("q", bytes(8 * num_page_indices))
         else:
+            self._flat_counts = False
             self._page_idx_counts = Counter()
         self.hits = 0
         self.misses = 0
@@ -85,7 +88,7 @@ class IndexCache:
     def _dec(self, page_idx: int) -> None:
         counts = self._page_idx_counts
         counts[page_idx] -= 1
-        if not self._flat_counts and counts[page_idx] <= 0:
+        if isinstance(counts, Counter) and counts[page_idx] <= 0:
             del counts[page_idx]
 
     def drop_group(self, group_id: int) -> None:
@@ -97,9 +100,10 @@ class IndexCache:
 
     def page_idx_cached(self, page_idx: int) -> bool:
         """True when any cached page covers group-page ``page_idx``."""
-        if self._flat_counts:
-            return self._page_idx_counts[page_idx] > 0
-        return self._page_idx_counts.get(page_idx, 0) > 0
+        counts = self._page_idx_counts
+        if isinstance(counts, Counter):
+            return counts.get(page_idx, 0) > 0
+        return counts[page_idx] > 0
 
     @property
     def miss_ratio(self) -> float:
@@ -151,7 +155,7 @@ class IndexPool:
         self._next_group_id = 0
         #: Hook set by the engine: called with a dead group id so the
         #: index cache can drop its pages.
-        self.on_group_dead = None
+        self.on_group_dead: Callable[[int], None] | None = None
         # pages_for_offset is on the per-lookup hot path but the live
         # group set only changes on group writes/deaths: cache per
         # offset, invalidated by a generation counter.

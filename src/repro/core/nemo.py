@@ -33,6 +33,7 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.baselines.base import CacheEngine, LookupResult
 from repro.core.bloom import BloomFilter, bloom_bits_per_object
@@ -334,7 +335,7 @@ class NemoCache(CacheEngine):
         sizes: list[int],
         now_us: float,
         step_us: float,
-        record=None,
+        record: Callable[[float], None] | None = None,
     ) -> float:
         """Batched GET run with read-through admission.
 
@@ -564,7 +565,7 @@ class NemoCache(CacheEngine):
         new_fill_rate = front.new_fill_rate()
         payloads = front.take_payloads()
         ppz = self.geometry.pages_per_zone
-        page_bases = []
+        page_bases: list[int] = []
         for i, zone_id in enumerate(zone_ids):
             chunk = payloads[i * ppz : (i + 1) * ppz]
             pages, _ = self.device.append_many(zone_id, chunk, now_us=now_us)

@@ -144,7 +144,7 @@ class IndexGroupBuilder:
         """Build one SG's set-level filters from its page payloads."""
         if not self.real_filters:
             return None
-        filters = []
+        filters: list[BloomFilter] = []
         filter_bits = self.layout.filter_bits
         num_hashes = self.layout.num_hashes
         for objs in payloads:
@@ -173,7 +173,7 @@ class IndexGroupBuilder:
         Only meaningful with real filters; statistical mode resolves the
         buffered members through the engine's exact map.
         """
-        hits = []
+        hits: list[int] = []
         for sg_id, filters in self.members.items():
             if filters is not None and key in filters[offset]:
                 hits.append(sg_id)
@@ -192,6 +192,7 @@ class IndexGroupBuilder:
         pages: list[object] = []
         for j in range(self.layout.pages_per_group):
             offsets = self.layout.offsets_of_page(j)
+            payload: object
             if self.real_filters:
                 payload = {
                     (sg_id, o): self.members[sg_id][o]  # type: ignore[index]

@@ -182,7 +182,7 @@ class SetGroup:
         (§4.2 ②).  Returns the evicted ``(key, size)`` pairs.
         """
         target = self.sets[offset]
-        evicted = []
+        evicted: list[tuple[int, int]] = []
         while not target.has_room(needed) and len(target):
             evicted.append(target.evict_oldest())
         return evicted
@@ -207,7 +207,7 @@ class SetGroup:
         """
         if not self.sealed:
             raise ConfigError("take_payloads requires a sealed SG")
-        payloads = []
+        payloads: list[dict[int, int]] = []
         for s in self.sets:
             payloads.append(s.objects)
             s.objects = {}

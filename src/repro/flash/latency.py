@@ -88,7 +88,7 @@ class LatencyModel:
     timings: NandTimings = field(default_factory=NandTimings)
     read_cache_pages: int = 64
     #: Per-channel next-free timestamps (µs), one double per channel.
-    _busy_until: array = field(init=False, repr=False)
+    _busy_until: array[float] = field(init=False, repr=False)
     #: Nonzero while the pending channel work is suspendable (program/
     #: erase or background reads) so foreground reads jump the backlog.
     _busy_is_program: bytearray = field(init=False, repr=False)

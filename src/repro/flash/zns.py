@@ -196,7 +196,7 @@ class ZNSDevice:
 
     def read_many(self, pages: list[int], *, now_us: float = 0.0) -> tuple[list[Any], float]:
         """Parallel page reads; latency is that of the slowest read."""
-        payloads = []
+        payloads: list[Any] = []
         for page in pages:
             payloads.append(self.nand.read(page))
             self.stats.record_host_read(self.geometry.page_size)

@@ -54,8 +54,8 @@ class Cell:
 
     cell_id: str
     fn: Callable[..., Any]
-    args: tuple = ()
-    kwargs: dict = field(default_factory=dict)
+    args: tuple[Any, ...] = ()
+    kwargs: dict[str, Any] = field(default_factory=dict)
 
     def run(self) -> Any:
         return self.fn(*self.args, **self.kwargs)
@@ -66,13 +66,15 @@ def default_jobs() -> int:
     return max(1, (os.cpu_count() or 2) - 1)
 
 
-def _run_cell(fn: Callable, args: tuple, kwargs: dict) -> Any:
+def _run_cell(
+    fn: Callable[..., Any], args: tuple[Any, ...], kwargs: dict[str, Any]
+) -> Any:
     # Module-level trampoline so the pool pickles a stable reference.
     return fn(*args, **kwargs)
 
 
 def _run_serial(cells: list[Cell]) -> list[Any]:
-    results = []
+    results: list[Any] = []
     for cell in cells:
         try:
             results.append(cell.run())
@@ -102,7 +104,10 @@ def run_cells(cells: list[Cell], jobs: int | None = None) -> list[Any]:
     try:
         for cell in cells:
             pickle.dumps((cell.fn, cell.args, cell.kwargs))
-    except Exception:
+    # Audited worker-boundary degrade: pickling probes raise anything
+    # (PicklingError, TypeError, RecursionError, ...) and the contract
+    # here is "cannot ship to workers => run serially, same answer".
+    except Exception:  # reprolint: disable=R006
         return _run_serial(cells)
 
     try:
@@ -112,10 +117,10 @@ def run_cells(cells: list[Cell], jobs: int | None = None) -> list[Any]:
         with ProcessPoolExecutor(
             max_workers=min(jobs, len(cells)), mp_context=ctx
         ) as pool:
-            futures: list[Future] = [
+            futures: list[Future[Any]] = [
                 pool.submit(_run_cell, c.fn, c.args, c.kwargs) for c in cells
             ]
-            results = []
+            results: list[Any] = []
             for cell, fut in zip(cells, futures):
                 try:
                     results.append(fut.result())
@@ -126,7 +131,8 @@ def run_cells(cells: list[Cell], jobs: int | None = None) -> list[Any]:
             return results
     except CellFailure:
         raise
-    except Exception:
-        # The pool itself died (worker OOM-killed, spawn unavailable,
-        # unpicklable payload...).  Degrade to serial: slower, same answer.
+    # Audited worker-boundary degrade: the pool itself died (worker
+    # OOM-killed, spawn unavailable, unpicklable payload...).  Cells are
+    # pure, so the serial re-run is slower but byte-identical.
+    except Exception:  # reprolint: disable=R006
         return _run_serial(cells)

@@ -54,7 +54,7 @@ class LatencyRecorder:
     def window_percentiles(self, qs: list[float]) -> list[dict[float, float]]:
         """Per-window percentiles (windows delimited by mark_window)."""
         bounds = self._window_bounds + [len(self._values)]
-        out = []
+        out: list[dict[float, float]] = []
         for lo, hi in zip(bounds, bounds[1:]):
             chunk = self._values[lo:hi]
             if chunk:

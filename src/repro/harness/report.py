@@ -49,7 +49,7 @@ def cdf_from_counter(hist: Counter[int]) -> list[tuple[int, float]]:
     total = sum(hist.values())
     if total == 0:
         return []
-    out = []
+    out: list[tuple[int, float]] = []
     acc = 0
     for value in sorted(hist):
         acc += hist[value]

@@ -1,0 +1,186 @@
+"""reprolint driver: file discovery, parsing, suppression, dispatch.
+
+The engine is deliberately small: it turns files into
+:class:`FileContext` objects (source + AST + zone + suppressions) and
+hands each context to every applicable rule in
+:data:`repro.lint.rules.ALL_RULES`.  All repo-specific knowledge lives
+in the rules themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Directories (relative to the repo root) reprolint scans by default.
+DEFAULT_SCAN_ROOTS = ("src/repro", "benchmarks", "tests")
+
+#: ``# reprolint: disable=R001`` or ``disable=R001,R003`` or ``disable=all``.
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: A comment-only line (suppression comments on these apply to the
+#: *next* line, so long statements can be annotated without overflowing).
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    zone: str
+    #: line number -> set of suppressed rule codes ("all" suppresses any).
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        codes = self.suppressions.get(line)
+        if codes is None:
+            return False
+        return "all" in codes or code in codes
+
+
+def classify_zone(rel_path: str) -> str:
+    """Map a repo-relative path to a lint zone.
+
+    Zones let rules scope themselves: the determinism rules bite only
+    inside the simulated world (``core``/``flash``/``baselines``/
+    ``workloads``) while the harness and CLI may touch the wall clock.
+    """
+    parts = Path(rel_path).parts
+    if parts[:2] == ("src", "repro"):
+        if len(parts) >= 4:
+            return parts[2]  # core, flash, baselines, workloads, harness, ...
+        return "repro"  # top-level modules: cli.py, hashing.py, errors.py
+    if parts[:1] == ("benchmarks",):
+        return "benchmarks"
+    if parts[:1] == ("tests",):
+        return "tests"
+    if parts[:1] == ("examples",):
+        return "examples"
+    return "other"
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Collect ``# reprolint: disable=...`` comments by effective line.
+
+    A suppression on a code line silences that line; a suppression on a
+    comment-only line silences the next line as well.
+    """
+    suppressed: dict[int, set[str]] = {}
+    lines = source.splitlines()
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+        suppressed.setdefault(lineno, set()).update(codes)
+        if _COMMENT_ONLY_RE.match(text) and lineno < len(lines) + 1:
+            suppressed.setdefault(lineno + 1, set()).update(codes)
+    return suppressed
+
+
+def build_context(path: str, source: str, zone: str | None = None) -> FileContext:
+    """Parse ``source`` into a :class:`FileContext` (raises SyntaxError)."""
+    tree = ast.parse(source, filename=path)
+    return FileContext(
+        path=path,
+        source=source,
+        tree=tree,
+        zone=classify_zone(path) if zone is None else zone,
+        suppressions=parse_suppressions(source),
+    )
+
+
+def iter_python_files(
+    root: Path, scan_roots: Sequence[str] = DEFAULT_SCAN_ROOTS
+) -> Iterator[Path]:
+    """Yield the ``.py`` files under ``root``'s scan directories, sorted."""
+    for scan in scan_roots:
+        base = root / scan
+        if base.is_file() and base.suffix == ".py":
+            yield base
+            continue
+        if not base.is_dir():
+            continue
+        yield from sorted(base.rglob("*.py"))
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    *,
+    zone: str | None = None,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint a source string; ``zone`` overrides path-based zoning.
+
+    This is the entry point the linter's own unit tests use: fixture
+    snippets claim a zone explicitly instead of living at a real path.
+    """
+    from repro.lint.rules import ALL_RULES
+
+    ctx = build_context(path, source, zone=zone)
+    wanted = set(select) if select is not None else None
+    violations: list[Violation] = []
+    for rule in ALL_RULES:
+        if wanted is not None and rule.code not in wanted:
+            continue
+        if not rule.applies(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if not ctx.is_suppressed(violation.line, violation.code):
+                violations.append(violation)
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return violations
+
+
+def lint_file(
+    path: Path, rel_path: str, *, select: Iterable[str] | None = None
+) -> list[Violation]:
+    source = path.read_text(encoding="utf-8")
+    try:
+        return lint_source(source, rel_path, select=select)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                code="E999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+
+
+def lint_paths(
+    root: Path,
+    paths: Sequence[str] | None = None,
+    *,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint files under ``root``; ``paths`` defaults to the scan roots."""
+    scan_roots = tuple(paths) if paths else DEFAULT_SCAN_ROOTS
+    violations: list[Violation] = []
+    for file_path in iter_python_files(root, scan_roots):
+        rel = file_path.relative_to(root).as_posix()
+        violations.extend(lint_file(file_path, rel, select=select))
+    return violations

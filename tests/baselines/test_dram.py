@@ -7,7 +7,6 @@ from repro.baselines.log_structured import LogStructuredCache
 from repro.core.config import NemoConfig
 from repro.core.nemo import NemoCache
 from repro.errors import ConfigError, ObjectTooLargeError
-from repro.flash.geometry import FlashGeometry
 
 
 class TestDramCache:

@@ -8,7 +8,6 @@ from repro.core.config import NemoConfig
 from repro.core.nemo import NemoCache
 from repro.errors import ObjectTooLargeError
 from repro.flash.geometry import FlashGeometry
-from repro.harness.runner import replay
 
 
 def tiny_nemo(**config_overrides) -> NemoCache:

@@ -1,7 +1,5 @@
 """Nemo configuration-variant behaviour tests."""
 
-import pytest
-
 from repro.core.config import FlushPolicyKind, NemoConfig
 from repro.core.nemo import NemoCache
 from repro.flash.geometry import FlashGeometry

@@ -7,7 +7,6 @@ from repro.baselines.log_structured import LogStructuredCache
 from repro.core.config import NemoConfig
 from repro.core.nemo import NemoCache
 from repro.errors import ConfigError
-from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
 from repro.harness.runner import replay
 from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace

@@ -1,0 +1,116 @@
+"""Every registered engine's bulk ops must agree with the scalar loop.
+
+The batched replay dispatch calls ``lookup_many`` / ``insert_many`` /
+``delete_many``; engines override them with inlined fast paths.  The
+contract (enforced statically by reprolint R004, behaviourally here) is
+that each override is observationally identical to the base-class
+default — the plain loop over the scalar methods — including the
+simulated-clock accumulation order, so metrics stay byte-identical.
+
+Two identically-configured instances of each registered engine replay
+the same short mixed GET/SET/DELETE trace, one through its (possibly
+overridden) bulk methods and one through the unbound base-class
+defaults, then their metric snapshots must match exactly.
+"""
+
+import argparse
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import CacheEngine
+from repro.cli import ENGINE_NAMES, build_engine
+from repro.flash.geometry import FlashGeometry
+
+STEP_US = 37.0
+
+
+def make_engine(name):
+    geometry = FlashGeometry(
+        page_size=4096, pages_per_block=16, num_blocks=16, blocks_per_zone=2
+    )
+    args = argparse.Namespace(
+        flush_threshold=4, sgs_per_index_group=2, cached_index_ratio=0.5
+    )
+    return build_engine(name, geometry, args)
+
+
+def make_runs(seed=7, num_runs=80):
+    """Consecutive same-op runs, the shape the harness dispatches."""
+    rng = np.random.default_rng(seed)
+    runs = []
+    for _ in range(num_runs):
+        op = rng.choice(["get", "set", "delete"], p=[0.6, 0.3, 0.1])
+        length = int(rng.integers(1, 24))
+        keys = [int(k) for k in rng.integers(0, 400, size=length)]
+        sizes = [int(s) for s in rng.integers(40, 900, size=length)]
+        runs.append((op, keys, sizes))
+    return runs
+
+
+def drive_bulk(engine, runs, record=None):
+    now_us = 0.0
+    for op, keys, sizes in runs:
+        if op == "get":
+            now_us = engine.lookup_many(keys, sizes, now_us, STEP_US, record)
+        elif op == "set":
+            now_us = engine.insert_many(keys, sizes, now_us, STEP_US)
+        else:
+            now_us = engine.delete_many(keys, now_us, STEP_US)
+    return now_us
+
+
+def drive_scalar(engine, runs, record=None):
+    """Same runs through the base-class defaults: the scalar loops."""
+    now_us = 0.0
+    for op, keys, sizes in runs:
+        if op == "get":
+            now_us = CacheEngine.lookup_many(
+                engine, keys, sizes, now_us, STEP_US, record
+            )
+        elif op == "set":
+            now_us = CacheEngine.insert_many(engine, keys, sizes, now_us, STEP_US)
+        else:
+            now_us = CacheEngine.delete_many(engine, keys, now_us, STEP_US)
+    return now_us
+
+
+def assert_snapshots_identical(a, b):
+    assert a.keys() == b.keys()
+    for metric in a:
+        va, vb = a[metric], b[metric]
+        if isinstance(va, float) and math.isnan(va):
+            assert isinstance(vb, float) and math.isnan(vb), metric
+        else:
+            assert va == vb, f"{metric}: bulk={va!r} scalar={vb!r}"
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+class TestBulkScalarAgreement:
+    def test_metrics_identical(self, name):
+        bulk_engine = make_engine(name)
+        scalar_engine = make_engine(name)
+        runs = make_runs()
+
+        clock_bulk = drive_bulk(bulk_engine, runs)
+        clock_scalar = drive_scalar(scalar_engine, runs)
+
+        assert clock_bulk == clock_scalar
+        assert_snapshots_identical(
+            bulk_engine.metrics_snapshot(), scalar_engine.metrics_snapshot()
+        )
+        assert bulk_engine.object_count() == scalar_engine.object_count()
+
+    def test_recorded_latencies_identical(self, name):
+        bulk_engine = make_engine(name)
+        scalar_engine = make_engine(name)
+        runs = make_runs(seed=13, num_runs=40)
+
+        lat_bulk, lat_scalar = [], []
+        drive_bulk(bulk_engine, runs, record=lat_bulk.append)
+        drive_scalar(scalar_engine, runs, record=lat_scalar.append)
+
+        gets = sum(len(keys) for op, keys, _ in runs if op == "get")
+        assert len(lat_bulk) == gets
+        assert lat_bulk == lat_scalar

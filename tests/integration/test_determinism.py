@@ -7,8 +7,6 @@ replays with the same configuration must agree bit-for-bit on every
 counter.
 """
 
-import pytest
-
 from repro.baselines.fairywren import FairyWrenCache
 from repro.core.config import NemoConfig
 from repro.core.nemo import NemoCache

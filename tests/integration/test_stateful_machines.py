@@ -6,7 +6,6 @@ models after every step — the strongest correctness net in the suite,
 catching ordering bugs that fixed scenarios miss.
 """
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (

@@ -1,0 +1,58 @@
+"""Static-tooling configuration checks.
+
+mypy and ruff run in the CI ``lint`` job; this container doesn't ship
+them, so the subprocess checks skip gracefully when the tools are
+absent and the configuration assertions stay text-based (no ``tomllib``
+— the test matrix includes Python 3.10).
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+PYPROJECT = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+
+
+class TestPyprojectConfig:
+    def test_mypy_section_pins_strict_scope(self):
+        assert "[tool.mypy]" in PYPROJECT
+        assert "strict = true" in PYPROJECT
+        for pkg in ("src/repro/core", "src/repro/flash", "src/repro/harness"):
+            assert pkg in PYPROJECT
+
+    def test_ruff_section_selects_expected_families(self):
+        assert "[tool.ruff]" in PYPROJECT
+        assert "[tool.ruff.lint]" in PYPROJECT
+        for family in ('"E"', '"F"', '"W"', '"I"'):
+            assert family in PYPROJECT
+
+    def test_lint_extra_declared(self):
+        assert "lint = [" in PYPROJECT
+        assert "mypy" in PYPROJECT and "ruff" in PYPROJECT
+
+
+class TestToolRuns:
+    @pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+    def test_mypy_strict_passes(self):
+        proc = subprocess.run(
+            ["mypy"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    @pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+    def test_ruff_check_passes(self):
+        proc = subprocess.run(
+            ["ruff", "check", "."],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
