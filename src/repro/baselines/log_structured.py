@@ -76,6 +76,13 @@ class LogStructuredCache(CacheEngine):
         self._open_zone: int | None = None
         # Keys per zone, for wholesale invalidation on zone reset.
         self._zone_keys: dict[int, list[int]] = {}
+        # Durability bookkeeping (DESIGN.md §7): each flushed page's
+        # payload is ``(flush_seq, objs)`` and ``_page_objs`` aliases the
+        # very dict stored on flash, so pruning a key here edits the
+        # durable image in place (deletes/updates never resurrect after
+        # a crash).  The map itself is volatile and rebuilt on recover().
+        self._page_objs: dict[int, dict[int, int]] = {}
+        self._flush_seq = 0
 
     # ------------------------------------------------------------------
     # CacheEngine API
@@ -109,10 +116,13 @@ class LogStructuredCache(CacheEngine):
                 f"exceeds the {page_size} B page"
             )
         index = self._index
-        if key in index:
+        old = index.get(key)
+        if old is not None:
             # Update: drop the stale copy from the index; the old flash
             # bytes die in place and vanish when their zone is reset.
             del index[key]
+            if old[0] >= 0:
+                self._page_objs[old[0]].pop(key, None)
         self.record_admission(size)
         if self._buffer_bytes + stored > page_size:
             self._flush_buffer(now_us=now_us)
@@ -205,8 +215,11 @@ class LogStructuredCache(CacheEngine):
                     f"object of {size} B (+{header} B header) "
                     f"exceeds the {page_size} B page"
                 )
-            if key in index:
+            old = index.get(key)
+            if old is not None:
                 del index[key]
+                if old[0] >= 0:
+                    self._page_objs[old[0]].pop(key, None)
             inserts += 1
             insert_bytes += size
             if self._buffer_bytes + stored > page_size:
@@ -232,20 +245,35 @@ class LogStructuredCache(CacheEngine):
     # Internals
     # ------------------------------------------------------------------
     def _remove_index_entry(self, key: int) -> None:
-        del self._index[key]
-        # Stale (key) references may linger in _zone_keys / _buffer; they
-        # are filtered against the index when the zone dies.
+        page, _ = self._index.pop(key)
+        if page >= 0:
+            # Prune the durable page image so the key cannot come back
+            # after a crash.  Stale (key) references may still linger in
+            # _zone_keys / _buffer; they are filtered against the index
+            # when the zone dies.
+            self._page_objs[page].pop(key, None)
 
     def _flush_buffer(self, *, now_us: float = 0.0) -> None:
         if not self._buffer:
             return
         zone_id = self._writable_zone(now_us=now_us)
-        payload = {k: s for k, s in self._buffer}
-        page, _ = self.device.append(zone_id, payload, now_us=now_us)
+        index = self._index
+        # Append an empty dict first, then fill it during the rebind
+        # pass: deleted-while-buffered keys never enter the durable
+        # image, and a superseded buffered copy is overwritten by its
+        # newer one (the buffer preserves insertion order).
+        objs: dict[int, int] = {}
+        page, _ = self.device.append(
+            zone_id, (self._flush_seq, objs), now_us=now_us
+        )
+        self._flush_seq += 1
+        self._page_objs[page] = objs
+        zone_keys = self._zone_keys[zone_id]
         for k, s in self._buffer:
-            if k in self._index:  # not deleted while buffered
-                self._index[k] = (page, s)
-                self._zone_keys[zone_id].append(k)
+            if k in index:  # not deleted while buffered
+                index[k] = (page, s)
+                objs[k] = s
+                zone_keys.append(k)
         self._buffer.clear()
         self._buffer_bytes = 0
         if self.device.zones[zone_id].remaining_pages == 0:
@@ -272,5 +300,62 @@ class LogStructuredCache(CacheEngine):
                 del self._index[key]
                 self.counters.evicted_objects += 1
                 self.counters.evicted_bytes += entry[1]
+        first = self.geometry.zone_first_page(victim)
+        for page in range(first, first + self.geometry.pages_per_zone):
+            self._page_objs.pop(page, None)
         self.device.reset_zone(victim, now_us=now_us)
         return victim
+
+    # ------------------------------------------------------------------
+    # Crash recovery (DESIGN.md §7)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power loss: index, write buffer, and zone bookkeeping are
+        DRAM and vanish; flash pages and zone write pointers survive."""
+        self._index.clear()
+        self._buffer.clear()
+        self._buffer_bytes = 0
+        self._zone_fifo.clear()
+        self._zone_keys.clear()
+        self._page_objs.clear()
+        self._open_zone = None
+
+    def recover(self) -> None:
+        """Rebuild the exact index from a log scan.
+
+        Every written page is read back (counted as host reads, as a
+        real recovery scan would be); zones re-enter the FIFO ordered by
+        their first page's flush sequence number, which is the original
+        append order.
+        """
+        geometry = self.geometry
+        ppz = geometry.pages_per_zone
+        scanned: list[tuple[int, int, list[tuple[int, dict[int, int]]]]] = []
+        max_seq = -1
+        for zone in self.device.zones:
+            wp = zone.write_pointer
+            if wp == 0:
+                continue
+            first = geometry.zone_first_page(zone.zone_id)
+            pages = []
+            first_seq = -1
+            for page in range(first, first + wp):
+                seq, objs = self.device.read_page(page)
+                if first_seq < 0:
+                    first_seq = seq
+                max_seq = max(max_seq, seq)
+                pages.append((page, objs))
+            scanned.append((first_seq, zone.zone_id, pages))
+        scanned.sort()
+        for _, zone_id, pages in scanned:
+            self._zone_fifo.append(zone_id)
+            keys = self._zone_keys.setdefault(zone_id, [])
+            for page, objs in pages:
+                self._page_objs[page] = objs
+                for k, s in objs.items():
+                    self._index[k] = (page, s)
+                    keys.append(k)
+            zone = self.device.zones[zone_id]
+            if zone.is_writable and zone.remaining_pages > 0:
+                self._open_zone = zone_id
+        self._flush_seq = max_seq + 1

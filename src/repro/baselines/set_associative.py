@@ -117,10 +117,13 @@ class SetAssociativeCache(CacheEngine):
         sset.objects[key] = size
         sset.used_bytes += size
         self._object_count += 1
-        # The flash page carries only the set id: the DRAM mirror is
-        # authoritative and set pages are never read back for content,
-        # so snapshotting the dict per insert is pure copy churn.
-        self.device.write(sid, sid, now_us=now_us)
+        # The flash page carries the live membership dict itself (not a
+        # copy): the DRAM mirror stays authoritative during operation —
+        # set pages are never read back for content — while crash
+        # recovery can rebuild every mirror from the FTL-mapped pages.
+        # Aliasing the dict keeps later mutations durable in place, so
+        # snapshotting per insert stays pure copy churn we avoid.
+        self.device.write(sid, sset.objects, now_us=now_us)
 
     def delete(self, key: int) -> bool:
         sid = self._set_of(key)
@@ -136,6 +139,34 @@ class SetAssociativeCache(CacheEngine):
 
     def object_count(self) -> int:
         return self._object_count
+
+    # ------------------------------------------------------------------
+    # Crash recovery (DESIGN.md §7)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power loss: the DRAM set mirrors (the "bloom filters" and
+        membership tables) vanish; the FTL mapping and set pages
+        survive (a real device journals its L2P table)."""
+        self._sets = [_Set() for _ in range(self.num_sets)]
+        self._object_count = 0
+
+    def recover(self) -> None:
+        """Rebuild every set mirror by reading mapped set pages back.
+
+        The scan re-adopts each on-flash membership dict as the live
+        mirror, restoring the aliasing invariant (mirror is flash
+        payload), so post-recovery mutations stay durable in place.
+        """
+        count = 0
+        for sid in range(self.num_sets):
+            if not self.device.is_mapped(sid):
+                continue
+            objs, _ = self.device.read(sid)
+            sset = self._sets[sid]
+            sset.objects = objs
+            sset.used_bytes = sum(objs.values())
+            count += len(objs)
+        self._object_count = count
 
     def memory_overhead_bits_per_object(self) -> float:
         return BLOOM_BITS_PER_OBJECT

@@ -1,0 +1,5 @@
+"""Deterministic fault injection for the flash substrate (DESIGN.md §7)."""
+
+from repro.faults.plan import FaultConfig, FaultPlan
+
+__all__ = ["FaultConfig", "FaultPlan"]

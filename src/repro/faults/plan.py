@@ -1,0 +1,130 @@
+"""Deterministic, seeded fault plans for the flash substrate.
+
+A :class:`FaultPlan` is the single source of randomness for every
+injected fault (reprolint R007 enforces this): it owns a private
+``random.Random(seed)`` stream, so two replays with the same trace,
+config, and plan seed inject byte-identical fault sequences, and a plan
+whose rates are all zero never touches its stream at all — the device
+behaves exactly as if no plan were installed (the zero-fault
+byte-identity contract, see DESIGN.md §7).
+
+The plan models four failure classes:
+
+* **Transient read errors** — a read attempt fails and is retried up to
+  ``max_read_retries`` times; each retry re-reads the page (accounted as
+  extra flash-read traffic).  An exhausted retry budget is escalated to
+  the device-level rescue path (ECC/parity reconstruction) unless
+  ``read_failures_fatal`` is set, in which case
+  :class:`~repro.errors.UncorrectableReadError` propagates.
+* **Program failures** — a page program fails, the containing block is
+  retired as a grown bad block and transparently remapped to a spare
+  block, shrinking the remaining spare pool (effective over-provisioning).
+* **Erase failures** — a block erase fails; the block is likewise
+  retired and remapped to a spare.
+* **Crashes** — power-loss events at request indices (``crash_at``),
+  interpreted by the harness: DRAM state is dropped and the engine's
+  ``recover()`` rebuilds from a flash scan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = ["FaultConfig", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Immutable description of a fault schedule.
+
+    All rates are per-operation probabilities in ``[0, 1]``; a rate of
+    zero disables that fault class entirely (no RNG draws happen for
+    it).  ``crash_at`` lists trace request indices at which the harness
+    simulates power loss.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    program_error_rate: float = 0.0
+    erase_error_rate: float = 0.0
+    #: Bounded retry budget for transient read errors (the "backoff"
+    #: is accounted, not slept: each retry is an extra flash read).
+    max_read_retries: int = 3
+    #: Hidden spare blocks available for bad-block remapping before the
+    #: device reaches end-of-life.
+    spare_blocks: int = 16
+    #: When True, an exhausted read-retry budget raises
+    #: UncorrectableReadError instead of escalating to ECC rescue.
+    read_failures_fatal: bool = False
+    #: Request indices at which the harness injects a power-loss event.
+    crash_at: tuple[int, ...] = field(default_factory=tuple)
+
+    def validate(self) -> None:
+        for name in ("read_error_rate", "program_error_rate", "erase_error_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate!r}")
+        if self.max_read_retries < 0:
+            raise ConfigError("max_read_retries must be >= 0")
+        if self.spare_blocks < 0:
+            raise ConfigError("spare_blocks must be >= 0")
+        if any(idx < 0 for idx in self.crash_at):
+            raise ConfigError("crash_at indices must be >= 0")
+
+
+class FaultPlan:
+    """A seeded fault-injection schedule with a private RNG stream.
+
+    The plan is installed on a device stack via
+    ``install_fault_plan``; the NAND layer consults it on every program,
+    read, and erase.  Decision methods never draw from the stream when
+    the corresponding rate is zero, so an all-zero plan is inert.
+    """
+
+    def __init__(self, config: FaultConfig | None = None) -> None:
+        self.config = config if config is not None else FaultConfig()
+        self.config.validate()
+        self._rng = random.Random(self.config.seed)
+        #: Sorted, de-duplicated crash schedule (request indices).
+        self.crash_points: tuple[int, ...] = tuple(sorted(set(self.config.crash_at)))
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """An explicitly empty plan: installed but injecting nothing."""
+        return cls(FaultConfig())
+
+    @property
+    def is_device_faulty(self) -> bool:
+        """True when any device-level fault class can fire."""
+        cfg = self.config
+        return (
+            cfg.read_error_rate > 0.0
+            or cfg.program_error_rate > 0.0
+            or cfg.erase_error_rate > 0.0
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing (no faults, no crashes)."""
+        return not self.is_device_faulty and not self.crash_points
+
+    def should_fail_read(self) -> bool:
+        rate = self.config.read_error_rate
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate
+
+    def should_fail_program(self) -> bool:
+        rate = self.config.program_error_rate
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate
+
+    def should_fail_erase(self) -> bool:
+        rate = self.config.erase_error_rate
+        if rate <= 0.0:
+            return False
+        return self._rng.random() < rate

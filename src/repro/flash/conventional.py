@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.faults.plan import FaultPlan
 from repro.flash.ftl import PageMapFTL
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
@@ -42,6 +43,14 @@ class ConventionalSSD:
             stats=self.stats,
             latency=latency,
         )
+
+    def install_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Arm (or, with ``None``, disarm) fault injection on the FTL."""
+        self.ftl.install_fault_plan(plan)
+
+    @property
+    def fault_plan(self) -> FaultPlan | None:
+        return self.ftl.fault_plan
 
     @property
     def num_lbas(self) -> int:

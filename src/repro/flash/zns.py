@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.errors import ZoneStateError
+from repro.faults.plan import FaultPlan
 from repro.flash.device import NandArray
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
@@ -59,6 +60,20 @@ class ZNSDevice:
             Zone(zone_id=z, capacity_pages=geometry.pages_per_zone)
             for z in range(geometry.num_zones)
         ]
+        self.fault_plan: FaultPlan | None = None
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def install_fault_plan(self, plan: FaultPlan | None) -> None:
+        """Arm (or, with ``None``, disarm) fault injection on the NAND.
+
+        Zone appends and reads then run through the NAND layer's
+        retry/retirement paths; a failed program or erase retires the
+        affected block to a spare without changing zone capacity.
+        """
+        self.fault_plan = plan
+        self.nand.install_fault_plan(plan, self.stats)
 
     # ------------------------------------------------------------------
     # Zone discovery

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.baselines.base import CacheEngine
 from repro.errors import ConfigError
+from repro.faults.plan import FaultPlan
 from repro.harness.metrics import MetricSeries, WindowedRate
 from repro.harness.percentile import LatencyRecorder
 from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace
@@ -43,6 +44,9 @@ class ReplayResult:
     write_rate: WindowedRate | None = None
     wall_seconds: float = 0.0
     sim_seconds: float = 0.0
+    #: Fault-injection outcome (None when no fault plan was supplied).
+    fault_counters: dict[str, int] | None = None
+    crashes: int = 0
 
     @property
     def wa(self) -> float:
@@ -79,6 +83,7 @@ def replay(
     mark_window_at: int | None = None,
     sampled_metrics: tuple[str, ...] = ("wa", "miss_ratio", "host_write_bytes"),
     progress: bool = False,
+    faults: FaultPlan | None = None,
 ) -> ReplayResult:
     """Replay ``trace`` against ``engine`` and collect metrics.
 
@@ -104,6 +109,11 @@ def replay(
         dashed line).
     progress:
         Print a one-line progress note every ~10 % of the trace.
+    faults:
+        Optional :class:`~repro.faults.plan.FaultPlan` armed on the
+        engine's device stack before replay.  Crash points in the plan
+        become chunk boundaries where the engine crashes and recovers
+        mid-replay.  An empty plan is byte-identical to ``faults=None``.
     """
     if arrival_rate <= 0:
         raise ConfigError("arrival_rate must be positive")
@@ -134,14 +144,30 @@ def replay(
     if mark_window_at is not None and 1 <= mark_window_at <= n:
         boundaries.add(mark_window_at)
 
+    crash_points: set[int] = set()
+    if faults is not None:
+        engine.install_fault_plan(faults)
+        crash_points = {c for c in faults.crash_points if 1 <= c <= n}
+        boundaries |= crash_points
+
     # Only latency recording needs per-GET instrumentation; everything
     # else (sampling, write-rate windows, window marks) happens at chunk
     # boundaries in both paths.
     record = latency.record if record_latency else None
 
-    lookup_many = engine.lookup_many
-    insert_many = engine.insert_many
-    delete_many = engine.delete_many
+    if faults is not None and faults.is_device_faulty:
+        # Device faults fire inside the NAND hooks; the engines' bulk
+        # fast paths bypass those on purpose (deferred accounting), so
+        # faulty replays funnel every request through the scalar-default
+        # run loops instead.  With an empty plan the bulk paths stay on
+        # (they are byte-identical anyway).
+        lookup_many = CacheEngine.lookup_many.__get__(engine)
+        insert_many = CacheEngine.insert_many.__get__(engine)
+        delete_many = CacheEngine.delete_many.__get__(engine)
+    else:
+        lookup_many = engine.lookup_many
+        insert_many = engine.insert_many
+        delete_many = engine.delete_many
     OP_GET_, OP_SET_, OP_DELETE_ = OP_GET, OP_SET, OP_DELETE  # local binds
     progress_every = max(1, n // 10)
 
@@ -172,6 +198,9 @@ def replay(
                     for _ in range(b - a):
                         now_us += step_us
 
+        if stop in crash_points:
+            engine.crash()
+            engine.recover()
         if stop == mark_window_at:
             latency.mark_window()
         if stop in sample_points:
@@ -199,4 +228,8 @@ def replay(
         write_rate=write_rate,
         wall_seconds=time.perf_counter() - t0,
         sim_seconds=now_us / 1e6,
+        fault_counters=(
+            engine.stats.fault_snapshot() if faults is not None else None
+        ),
+        crashes=len(crash_points),
     )

@@ -1,6 +1,15 @@
-"""Shared fixtures: tiny geometries and traces sized for fast tests."""
+"""Shared fixtures: tiny geometries and traces sized for fast tests.
+
+Also hosts the seeded test-order shuffle: tests run in a randomized
+(but reproducible) order so hidden inter-test state dependencies are
+flushed out instead of silently relied on.  ``--order-seed N`` picks
+the shuffle; ``--order-seed -1`` restores plain collection order.
+"""
 
 from __future__ import annotations
+
+import random
+from collections import defaultdict
 
 import pytest
 
@@ -8,6 +17,47 @@ from repro.core.config import NemoConfig
 from repro.flash.geometry import FlashGeometry
 from repro.workloads.mixer import merged_twitter_trace
 from repro.workloads.trace import Trace
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--order-seed",
+        type=int,
+        default=0,
+        help="seed for the test-order shuffle (-1 runs collection order)",
+    )
+
+
+def pytest_report_header(config: pytest.Config) -> str:
+    seed = config.getoption("--order-seed")
+    if seed == -1:
+        return "test order: collection order (--order-seed -1)"
+    return f"test order: shuffled with --order-seed {seed}"
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    """Shuffle test order, keeping each module's tests contiguous.
+
+    Module-level locality is preserved (module-scoped fixtures set up
+    once) while both the module order and the order within every module
+    are randomized by the seed.
+    """
+    seed = config.getoption("--order-seed")
+    if seed == -1:
+        return
+    rng = random.Random(seed)
+    by_module: defaultdict[str, list[pytest.Item]] = defaultdict(list)
+    for item in items:
+        by_module[item.nodeid.rsplit("::", 1)[0]].append(item)
+    modules = list(by_module)
+    rng.shuffle(modules)
+    items[:] = [
+        item
+        for module in modules
+        for item in rng.sample(by_module[module], len(by_module[module]))
+    ]
 
 
 @pytest.fixture

@@ -1,0 +1,46 @@
+"""tools/regen_goldens.py must round-trip the golden file on a clean tree.
+
+If this fails, either the datapath drifted (a parity test should be
+failing too) or the tool's serialization no longer matches the stored
+format — both mean "regenerating goldens" would sneak a diff into the
+tree.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+TOOL = REPO_ROOT / "tools" / "regen_goldens.py"
+GOLDEN = Path(__file__).parent / "golden_metrics_micro.json"
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location("regen_goldens", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_clean_tree_round_trips_byte_identical():
+    tool = load_tool()
+    assert tool.golden_path() == GOLDEN
+    assert tool.render(tool.compute_cells()) == GOLDEN.read_text()
+
+
+def test_check_mode_exit_codes(tmp_path, monkeypatch, capsys):
+    tool = load_tool()
+    cells = json.loads(GOLDEN.read_text())
+    monkeypatch.setattr(tool, "compute_cells", lambda: cells)
+
+    target = tmp_path / "golden.json"
+    assert tool.main(["--check", "--output", str(target)]) == 1  # missing
+
+    assert tool.main(["--output", str(target)]) == 0
+    assert target.read_text() == GOLDEN.read_text()
+    assert tool.main(["--check", "--output", str(target)]) == 0
+
+    target.write_text("{}\n")
+    assert tool.main(["--check", "--output", str(target)]) == 1  # stale
+    out = capsys.readouterr().out
+    assert "STALE" in out

@@ -1,0 +1,131 @@
+"""NAND-level fault injection: retries, rescue, retirement, end-of-life."""
+
+import pytest
+
+from repro.errors import DeviceRetiredError, UncorrectableReadError
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.flash.device import NandArray
+from repro.flash.geometry import FlashGeometry
+from repro.flash.stats import FlashStats
+
+
+def make_nand(**fault_kwargs):
+    geo = FlashGeometry(
+        page_size=4096, pages_per_block=4, num_blocks=8, blocks_per_zone=1
+    )
+    nand = NandArray(geo)
+    stats = FlashStats()
+    if fault_kwargs:
+        nand.install_fault_plan(FaultPlan(FaultConfig(**fault_kwargs)), stats)
+    return nand, stats
+
+
+class TestReadFaults:
+    def test_transient_read_retries_then_ecc_rescue(self):
+        nand, stats = make_nand(read_error_rate=1.0, max_read_retries=3)
+        nand.program(0, "payload")
+        assert nand.read(0) == "payload"  # rescue still returns the data
+        fc = stats.fault_snapshot()
+        assert fc["read_retries"] == 3
+        assert fc["ecc_rescued_reads"] == 1
+        # Each retry is an extra physical read: 1 + 3 retries.
+        assert nand.read_count == 4
+
+    def test_fatal_read_failures_raise(self):
+        nand, _ = make_nand(
+            read_error_rate=1.0, max_read_retries=2, read_failures_fatal=True
+        )
+        nand.program(0, "payload")
+        with pytest.raises(UncorrectableReadError):
+            nand.read(0)
+
+    def test_read_pages_runs_fault_loop_per_page(self):
+        nand, stats = make_nand(read_error_rate=1.0, max_read_retries=1)
+        for page in range(3):
+            nand.program(page, page)
+        nand.read_pages([0, 1, 2])
+        fc = stats.fault_snapshot()
+        assert fc["read_retries"] == 3
+        assert fc["ecc_rescued_reads"] == 3
+
+    def test_retry_traffic_counted_as_read_bytes(self):
+        nand, stats = make_nand(read_error_rate=1.0, max_read_retries=2)
+        nand.program(0, "x")
+        before = stats.flash_read_bytes
+        nand.read(0)
+        assert stats.flash_read_bytes - before == 2 * nand.geometry.page_size
+
+
+class TestProgramFaults:
+    def test_program_failure_retires_block_but_write_lands(self):
+        nand, stats = make_nand(program_error_rate=1.0, spare_blocks=4)
+        nand.program(0, "payload")
+        assert nand.read(0) == "payload"  # spare substituted transparently
+        fc = stats.fault_snapshot()
+        assert fc["program_failures"] == 1
+        assert fc["blocks_retired"] == 1
+        assert nand.retired_blocks == [0]
+        assert nand.spare_blocks_remaining == 3
+        # The failed attempt burned a program cycle too.
+        assert nand.program_count == 2
+
+    def test_spare_exhaustion_is_end_of_life(self):
+        nand, _ = make_nand(program_error_rate=1.0, spare_blocks=2)
+        nand.program(0, "a")
+        nand.program(1, "b")
+        with pytest.raises(DeviceRetiredError):
+            nand.program(2, "c")
+
+
+class TestEraseFaults:
+    def test_erase_failure_retires_block_then_succeeds(self):
+        nand, stats = make_nand(erase_error_rate=1.0, spare_blocks=4)
+        nand.program(0, "x")
+        nand.erase_block(0)
+        assert not nand.is_programmed(0)  # erase completed on the spare
+        fc = stats.fault_snapshot()
+        assert fc["erase_failures"] == 1
+        assert fc["blocks_retired"] == 1
+
+    def test_erase_zone_checks_each_member_block(self):
+        geo = FlashGeometry(
+            page_size=4096, pages_per_block=4, num_blocks=8, blocks_per_zone=4
+        )
+        nand = NandArray(geo)
+        stats = FlashStats()
+        nand.install_fault_plan(
+            FaultPlan(FaultConfig(erase_error_rate=1.0, spare_blocks=16)), stats
+        )
+        nand.erase_zone(0)
+        assert stats.fault_snapshot()["erase_failures"] == 4
+
+
+class TestInertPaths:
+    def test_no_plan_means_no_fault_state(self):
+        nand, stats = make_nand()
+        assert nand.fault_plan is None
+        nand.program(0, "x")
+        assert nand.read(0) == "x"
+        nand.erase_block(0)
+        assert all(v == 0 for v in stats.fault_snapshot().values())
+
+    def test_empty_plan_changes_nothing_but_arms_spares(self):
+        nand, stats = make_nand(spare_blocks=5)
+        assert nand.fault_plan is not None
+        assert nand.spare_blocks_remaining == 5
+        nand.program(0, "x")
+        assert nand.read(0) == "x"
+        assert nand.read_count == 1
+        assert all(v == 0 for v in stats.fault_snapshot().values())
+
+    def test_uninstall_resets(self):
+        nand, _ = make_nand(read_error_rate=1.0)
+        nand.install_fault_plan(None)
+        assert nand.fault_plan is None
+        assert nand.spare_blocks_remaining == 0
+
+    def test_metric_snapshot_excludes_fault_counters(self):
+        """Fault counters live in fault_snapshot(), never in snapshot(),
+        so golden metric files are untouched by the fault layer."""
+        _, stats = make_nand(read_error_rate=1.0)
+        assert set(stats.snapshot()).isdisjoint(stats.fault_snapshot())

@@ -1,0 +1,84 @@
+"""FaultPlan / FaultConfig unit tests: determinism and the no-draw rule."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults.plan import FaultConfig, FaultPlan
+
+
+class TestFaultConfig:
+    def test_defaults_are_inert(self):
+        cfg = FaultConfig()
+        cfg.validate()
+        plan = FaultPlan(cfg)
+        assert plan.is_empty
+        assert not plan.is_device_faulty
+
+    @pytest.mark.parametrize(
+        "field", ["read_error_rate", "program_error_rate", "erase_error_rate"]
+    )
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_rates_bounded(self, field, bad):
+        with pytest.raises(ConfigError):
+            FaultPlan(FaultConfig(**{field: bad}))
+
+    def test_negative_knobs_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(FaultConfig(max_read_retries=-1))
+        with pytest.raises(ConfigError):
+            FaultPlan(FaultConfig(spare_blocks=-1))
+        with pytest.raises(ConfigError):
+            FaultPlan(FaultConfig(crash_at=(100, -5)))
+
+
+class TestFaultPlan:
+    def test_crash_points_sorted_deduped(self):
+        plan = FaultPlan(FaultConfig(crash_at=(30, 10, 30, 20)))
+        assert plan.crash_points == (10, 20, 30)
+        assert not plan.is_device_faulty  # crashes alone are not device faults
+        assert not plan.is_empty
+
+    def test_none_constructor(self):
+        assert FaultPlan.none().is_empty
+
+    def test_deterministic_across_instances(self):
+        a = FaultPlan(FaultConfig(seed=42, read_error_rate=0.5))
+        b = FaultPlan(FaultConfig(seed=42, read_error_rate=0.5))
+        assert [a.should_fail_read() for _ in range(200)] == [
+            b.should_fail_read() for _ in range(200)
+        ]
+
+    def test_seed_changes_stream(self):
+        a = FaultPlan(FaultConfig(seed=1, read_error_rate=0.5))
+        b = FaultPlan(FaultConfig(seed=2, read_error_rate=0.5))
+        assert [a.should_fail_read() for _ in range(200)] != [
+            b.should_fail_read() for _ in range(200)
+        ]
+
+    def test_zero_rates_never_draw(self):
+        """The byte-identity contract: zero-rate checks are RNG-free."""
+        plan = FaultPlan(FaultConfig(seed=7))
+        before = plan._rng.getstate()
+        for _ in range(100):
+            assert not plan.should_fail_read()
+            assert not plan.should_fail_program()
+            assert not plan.should_fail_erase()
+        assert plan._rng.getstate() == before
+
+    def test_mixed_rates_draw_only_enabled_classes(self):
+        """A zero-rate class must not consume draws meant for others."""
+        only_read = FaultPlan(FaultConfig(seed=3, read_error_rate=0.5))
+        mixed = FaultPlan(FaultConfig(seed=3, read_error_rate=0.5))
+        seq = []
+        for _ in range(100):
+            assert not mixed.should_fail_program()  # zero rate: no draw
+            seq.append(mixed.should_fail_read())
+        assert seq == [only_read.should_fail_read() for _ in range(100)]
+
+    def test_always_fail_rates(self):
+        plan = FaultPlan(
+            FaultConfig(read_error_rate=1.0, program_error_rate=1.0, erase_error_rate=1.0)
+        )
+        assert plan.should_fail_read()
+        assert plan.should_fail_program()
+        assert plan.should_fail_erase()

@@ -1,0 +1,114 @@
+"""Replay-level fault integration: byte-identity, crashes, fault sweeps."""
+
+import math
+
+import pytest
+
+from repro.cli import ENGINE_NAMES, build_engine
+from repro.faults.plan import FaultConfig, FaultPlan
+from repro.flash.geometry import FlashGeometry
+from repro.harness.runner import replay
+
+from tests.conftest import cached_twitter_trace
+
+
+def make_engine(name):
+    import argparse
+
+    geometry = FlashGeometry(
+        page_size=4096, pages_per_block=16, num_blocks=16, blocks_per_zone=2
+    )
+    args = argparse.Namespace(
+        flush_threshold=4, sgs_per_index_group=2, cached_index_ratio=0.5
+    )
+    return build_engine(name, geometry, args)
+
+
+def trace():
+    return cached_twitter_trace(8_000, 1.0 / 4096)
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+def test_empty_plan_is_byte_identical(name):
+    """The hard invariant: faults=FaultPlan.none() == faults=None, exactly."""
+    t = trace()
+    baseline = replay(make_engine(name), t)
+    armed = replay(make_engine(name), t, faults=FaultPlan.none())
+    assert armed.final == baseline.final  # exact float equality, on purpose
+    for metric, series in baseline.series.items():
+        assert armed.series[metric].values == series.values
+    assert baseline.fault_counters is None
+    assert armed.fault_counters is not None
+    assert all(v == 0 for v in armed.fault_counters.values())
+    assert armed.crashes == 0
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+def test_crash_points_mid_replay(name):
+    t = trace()
+    engine = make_engine(name)
+    plan = FaultPlan(FaultConfig(crash_at=(2_000, 5_000)))
+    result = replay(engine, t, faults=plan)
+    assert result.crashes == 2
+    assert result.num_requests == len(t)
+    assert 0.0 <= result.miss_ratio <= 1.0
+    # The engine kept serving after both recoveries.
+    assert engine.counters.lookups > 0
+    assert engine.object_count() >= 0
+
+
+def test_out_of_range_crash_points_ignored():
+    t = trace()
+    plan = FaultPlan(FaultConfig(crash_at=(0, len(t) + 1_000)))
+    result = replay(make_engine("log"), t, faults=plan)
+    assert result.crashes == 0
+
+
+@pytest.mark.parametrize("name", ENGINE_NAMES)
+def test_device_faults_fire_and_are_counted(name):
+    t = trace()
+    plan = FaultPlan(
+        FaultConfig(
+            seed=5,
+            read_error_rate=0.01,
+            erase_error_rate=0.05,
+            spare_blocks=1_000,
+        )
+    )
+    result = replay(make_engine(name), t, faults=plan)
+    fc = result.fault_counters
+    assert fc is not None
+    assert fc["read_retries"] > 0
+    assert fc["blocks_retired"] == fc["program_failures"] + fc["erase_failures"]
+    assert not math.isnan(result.miss_ratio)
+
+
+def test_faulty_replay_is_deterministic():
+    t = trace()
+    cfg = FaultConfig(
+        seed=9, read_error_rate=0.02, erase_error_rate=0.02, spare_blocks=1_000,
+        crash_at=(3_000,),
+    )
+    a = replay(make_engine("set"), t, faults=FaultPlan(cfg))
+    b = replay(make_engine("set"), t, faults=FaultPlan(cfg))
+    assert a.final == b.final
+    assert a.fault_counters == b.fault_counters
+
+
+def test_faults_with_crashes_and_rates_together():
+    """The full fault story on one engine: errors firing across crashes."""
+    t = trace()
+    engine = make_engine("fw")
+    plan = FaultPlan(
+        FaultConfig(
+            seed=1,
+            read_error_rate=0.02,
+            erase_error_rate=0.02,
+            spare_blocks=1_000,
+            crash_at=(2_500, 6_000),
+        )
+    )
+    result = replay(engine, t, faults=plan)
+    assert result.crashes == 2
+    assert result.fault_counters is not None
+    assert result.fault_counters["read_retries"] > 0

@@ -30,9 +30,9 @@ class TestRuleRegistry:
             seen.add(rule.code)
             assert rule.__doc__ and rule.code in rule.__doc__
 
-    def test_rules_by_code_covers_r001_to_r006(self):
+    def test_rules_by_code_covers_r001_to_r007(self):
         table = rules_by_code()
-        assert sorted(table) == [f"R00{i}" for i in range(1, 7)]
+        assert sorted(table) == [f"R00{i}" for i in range(1, 8)]
 
 
 class TestWallClockR001:
@@ -442,6 +442,80 @@ class TestBroadExceptR006:
             zone="harness",
         )
         assert found == []
+
+
+class TestFaultRandomnessR007:
+    def test_flags_rng_construction_in_fault_zone(self):
+        found = lint(
+            """
+            import random
+            class RetryJitter:
+                def __init__(self, seed):
+                    self.rng = random.Random(seed)
+            """,
+            zone="faults",
+        )
+        assert codes(found) == ["R007"]
+        assert "FaultPlan" in found[0].message
+
+    def test_flags_numpy_generator_in_flash_zone(self):
+        found = lint(
+            """
+            import numpy as np
+            def jitter(seed):
+                return np.random.default_rng(seed)
+            """,
+            zone="flash",
+        )
+        assert codes(found) == ["R007"]
+
+    def test_fault_plan_class_is_the_allowed_home(self):
+        found = lint(
+            """
+            import random
+            class FaultPlan:
+                def __init__(self, seed):
+                    self._rng = random.Random(seed)
+            """,
+            zone="faults",
+        )
+        assert found == []
+
+    def test_other_zones_unaffected(self):
+        found = lint(
+            """
+            import random
+            rng = random.Random(0)
+            """,
+            zone="workloads",
+        )
+        assert found == []
+
+    def test_suppression_honoured(self):
+        found = lint(
+            """
+            import random
+            # reprolint: disable=R007
+            AUDITED = random.Random(0)
+            """,
+            zone="faults",
+        )
+        assert found == []
+
+    def test_shipped_fault_layer_is_clean(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parent.parent.parent
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "--select", "R007",
+             "src/repro/faults", "src/repro/flash"],
+            cwd=repo,
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
 class TestEngineHelpers:

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Regenerate (or verify) the golden metric-parity files.
+
+The golden files pin every experiment cell's metrics to exact float
+equality; they may only change when a metric change is *intentional*.
+This tool is the one blessed way to rewrite them — and, with
+``--check``, the guard that a clean tree reproduces them byte-for-byte::
+
+    python tools/regen_goldens.py            # rewrite the golden file
+    python tools/regen_goldens.py --check    # verify, write nothing
+
+Usable from a fresh checkout without installation: it prepends the
+repo's ``src/`` to ``sys.path`` and loads the parity test module (the
+single source of truth for what the golden file contains) by path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+PARITY_TEST = REPO_ROOT / "tests" / "experiments" / "test_metric_parity.py"
+
+
+def _load_parity_module():
+    spec = importlib.util.spec_from_file_location("metric_parity", PARITY_TEST)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def compute_cells() -> dict:
+    """Recompute every golden cell exactly as the parity tests do."""
+    return _load_parity_module()._compute_cells()
+
+
+def golden_path() -> Path:
+    return _load_parity_module().GOLDEN_PATH
+
+
+def render(cells: dict) -> str:
+    """Serialize cells in the golden file's canonical byte format."""
+    return json.dumps(cells, indent=1) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the stored golden file matches a fresh run; write nothing",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write/check this path instead of the in-tree golden file",
+    )
+    args = parser.parse_args(argv)
+
+    target = args.output if args.output is not None else golden_path()
+    text = render(compute_cells())
+    if args.check:
+        if not target.exists():
+            print(f"MISSING {target}")
+            return 1
+        if target.read_text() != text:
+            print(f"STALE {target}: recomputed cells differ from the stored file")
+            return 1
+        print(f"OK {target}")
+        return 0
+    target.write_text(text)
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
