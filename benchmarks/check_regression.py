@@ -52,7 +52,12 @@ def compare(
         cur_rps = record["requests_per_sec"]
         ratio = cur_rps / base_rps
         regressed = ratio < 1.0 - max_regression
-        status = "REGRESSED" if regressed else "ok"
+        # Absolute ratchets: cells may carry a hard throughput floor
+        # (e.g. the fig15 micro columnar cell's 5M req/s acceptance
+        # bar) that no relative tolerance can erode.
+        floor = base.get("extra_info", {}).get("floor_requests_per_sec")
+        below_floor = floor is not None and cur_rps < floor
+        status = "REGRESSED" if regressed else "BELOW FLOOR" if below_floor else "ok"
         print(
             f"  {name:45s} {cur_rps:>12,.0f} req/s "
             f"(baseline {base_rps:>12,.0f}, {ratio:5.2f}x) {status}"
@@ -62,6 +67,11 @@ def compare(
                 f"{name}: {cur_rps:,.0f} req/s is "
                 f"{(1.0 - ratio) * 100.0:.0f}% below the committed "
                 f"{base_rps:,.0f} req/s"
+            )
+        if below_floor:
+            failures.append(
+                f"{name}: {cur_rps:,.0f} req/s is below the hard floor "
+                f"of {floor:,.0f} req/s"
             )
     return failures
 

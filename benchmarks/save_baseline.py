@@ -6,11 +6,14 @@ output into small files at the repo root:
 - ``BENCH_core_ops.json`` — ops/sec for the data-path primitives
   (engine insert/lookup, bloom add/query, zipf sampling, latency model);
 - ``BENCH_replay.json`` — end-to-end replay throughput (requests/sec)
-  for the seed-reference loop, the fast path and the instrumented path,
-  plus the fast-over-seed speedup the fast lane is accountable for;
+  for the seed-reference loop, the fast path, the instrumented path and
+  the columnar/sharded lanes (including the fig15 micro acceptance cell
+  with its hard 5M req/s floor), plus the fast-over-seed,
+  columnar-over-batched and vs-pre-columnar speedups;
 - ``BENCH_engines.json`` — per-engine fig12 replay throughput (Log,
   Set, FW, KG, Nemo), plus each cell's speedup over the wall-clock
-  recorded just before the engine-datapath optimisation.
+  recorded just before the engine-datapath optimisation, the
+  request-pipeline vectorisation and the columnar-kernel change.
 
 Usage::
 
@@ -40,6 +43,9 @@ _REPLAY_BENCHES = {
     "test_replay_seed_reference",
     "test_replay_fast_path",
     "test_replay_instrumented",
+    "test_replay_columnar",
+    "test_replay_fig15_micro_columnar",
+    "test_replay_fig15_micro_sharded",
 }
 
 #: fig12 micro-cell wall-clock (best-of-2 seconds, reference dev machine)
@@ -68,6 +74,28 @@ _PRE_VECTORIZATION_CELL_SECONDS = {
     "FW": 0.347,
     "KG": 0.703,
     "Nemo": 0.222,
+}
+
+#: Same cells, recorded immediately *before* the whole-trace columnar
+#: kernel change (DESIGN.md §5: trace-wide hash columns, array
+#: decision passes, precomputed placement offsets).  The batched lane
+#: itself benefits — engines now consume one vectorised offset column
+#: instead of re-hashing per request.
+_PRE_COLUMNAR_CELL_SECONDS = {
+    "Log": 0.0593,
+    "Set": 0.4189,
+    "FW": 0.2480,
+    "KG": 1.0619,
+    "Nemo": 0.1970,
+}
+
+#: Replay-suite wall-clock recorded immediately *before* the columnar
+#: kernel change (same box, same rounds); ``BENCH_replay.json`` reports
+#: speedups over these.  The seed-reference loop is untouched by the
+#: columnar change, so it carries no entry here.
+_PRE_COLUMNAR_REPLAY_SECONDS = {
+    "test_replay_fast_path": 0.1203,
+    "test_replay_instrumented": 0.1312,
 }
 
 
@@ -137,6 +165,21 @@ def save_replay() -> None:
     fast = benches.get("test_replay_fast_path")
     if seed and fast:
         payload["speedup_fast_over_seed"] = seed["min_s"] / fast["min_s"]
+    columnar = benches.get("test_replay_columnar")
+    if fast and columnar:
+        payload["speedup_columnar_over_batched"] = (
+            fast["min_s"] / columnar["min_s"]
+        )
+    speedups = {}
+    for name, before_s in _PRE_COLUMNAR_REPLAY_SECONDS.items():
+        record = benches.get(name)
+        if record and record["min_s"]:
+            speedups[name] = before_s / record["min_s"]
+            record.setdefault("extra_info", {})[
+                "speedup_vs_pre_columnar"
+            ] = speedups[name]
+    payload["pre_columnar_replay_seconds"] = _PRE_COLUMNAR_REPLAY_SECONDS
+    payload["speedup_vs_pre_columnar"] = speedups
     _write(REPO_ROOT / "BENCH_replay.json", payload)
 
 
@@ -149,6 +192,7 @@ def save_engines(*, quick: bool = False) -> None:
     for label, reference in (
         ("pre_optimization", _PRE_OPT_CELL_SECONDS),
         ("pre_vectorization", _PRE_VECTORIZATION_CELL_SECONDS),
+        ("pre_columnar", _PRE_COLUMNAR_CELL_SECONDS),
     ):
         speedups = {}
         for engine, before_s in reference.items():

@@ -105,6 +105,18 @@ class CacheEngine(abc.ABC):
         return False
 
     # ------------------------------------------------------------------
+    # Columnar replay support (DESIGN.md §5)
+    # ------------------------------------------------------------------
+    def columnar_spec(self) -> tuple[int, int] | None:
+        """``(hash_seed, modulus)`` of the placement hash this engine's
+        bulk paths can consume as a precomputed ``offsets=`` column
+        (``Trace.columns(seed, modulus).set_ids``), or None when the
+        engine has no such column.  Engines that return a spec must
+        accept ``offsets=`` in ``lookup_many``/``insert_many`` and
+        produce byte-identical metrics with or without it."""
+        return None
+
+    # ------------------------------------------------------------------
     # Fault injection & crash recovery (DESIGN.md §7)
     # ------------------------------------------------------------------
     def install_fault_plan(self, plan: FaultPlan | None) -> None:

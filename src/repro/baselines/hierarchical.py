@@ -25,6 +25,8 @@ back tier's overflow policy.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.baselines.base import CacheEngine, LookupResult
 from repro.baselines.hlog import HierarchicalLog
 from repro.baselines.hset import CASE_PASSIVE, HierarchicalSet
@@ -33,7 +35,7 @@ from repro.flash.device import PAGE_PROGRAMMED
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
 from repro.flash.zns import ZNSDevice
-from repro.hashing import _MASK, splitmix64
+from repro.hashing import splitmix64_array
 
 #: Table 6 metadata widths (bits per object).
 LOG_BITS_PER_OBJECT = 48.0
@@ -98,9 +100,9 @@ class HierarchicalCacheBase(CacheEngine):
             raise ConfigError("op_ratio leaves no usable sets")
 
         self.hot_keys: set[int] = set()
-        #: Pre-mixed hash seed for the inlined key→bucket hash in the
-        #: bulk request paths (must match ``hlog.bucket_of``).
-        self._bucket_mix = splitmix64(hash_seed)
+        #: Seed of the key→bucket hash, for the bulk paths' vectorised
+        #: column and ``columnar_spec`` (must match ``hlog.bucket_of``).
+        self._hash_seed = hash_seed
         self.hlog = HierarchicalLog(
             self.device,
             list(range(log_zone_count)),
@@ -192,15 +194,27 @@ class HierarchicalCacheBase(CacheEngine):
     # Bulk request paths (batched replay dispatch)
     # ------------------------------------------------------------------
     # Inlined run loops for the harness's same-op dispatch: the
-    # key→bucket hash is computed once per request (the scalar path
-    # hashes twice — ``hlog.find`` internally and ``bucket_of`` for the
-    # HSet probe), the HLog bucket dict and HSet mirrors are probed
-    # directly, and on a latency-free device the per-read NAND
-    # validation stays inline while the read *counters* accumulate in
-    # locals and flush once per run.  Nothing reads the engine counters
-    # or device stats mid-run (sampling only happens at chunk
-    # boundaries), so the deferred accounting is observationally
-    # identical to the scalar loop.
+    # key→bucket hash arrives as a precomputed column (the columnar
+    # lane's ``offsets=``, else one vectorised sweep per run — the
+    # scalar path hashes twice per request, ``hlog.find`` internally
+    # and ``bucket_of`` for the HSet probe), the HLog bucket dict and
+    # HSet mirrors are probed directly, and on a latency-free device
+    # the per-read NAND validation stays inline while the read
+    # *counters* accumulate in locals and flush once per run.  Nothing
+    # reads the engine counters or device stats mid-run (sampling only
+    # happens at chunk boundaries), so the deferred accounting is
+    # observationally identical to the scalar loop.
+
+    def _bucket_column(self, keys: list[int]) -> list[int]:
+        """Vectorised ``hlog.bucket_of`` over a key batch (exact)."""
+        hashed = splitmix64_array(
+            np.asarray(keys, dtype=np.uint64), self._hash_seed
+        )
+        return (hashed % np.uint64(self.hlog.num_buckets)).tolist()
+
+    def columnar_spec(self) -> tuple[int, int]:
+        """Placement column spec: ``hash64(key, seed) % num_buckets``."""
+        return (self._hash_seed, self.hlog.num_buckets)
 
     def lookup_many(
         self,
@@ -209,9 +223,9 @@ class HierarchicalCacheBase(CacheEngine):
         now_us: float,
         step_us: float,
         record=None,
+        *,
+        offsets: list[int] | None = None,
     ) -> float:
-        mix = self._bucket_mix
-        mask = _MASK
         nb = self.hlog.num_buckets
         hot_cold = self.hset.hot_cold
         buckets = self.hlog.buckets
@@ -230,11 +244,9 @@ class HierarchicalCacheBase(CacheEngine):
         flash_reads = 0
         inserts = 0
         insert_bytes = 0
-        for key, size in zip(keys, sizes):
-            z = ((key & mask) ^ mix) + 0x9E3779B97F4A7C15 & mask
-            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & mask
-            z = (z ^ (z >> 27)) * 0x94D049BB133111EB & mask
-            b = (z ^ (z >> 31)) % nb
+        if offsets is None:
+            offsets = self._bucket_column(keys)
+        for key, size, b in zip(keys, sizes, offsets):
             entry = buckets[b].get(key)
             if entry is not None:
                 hits += 1
@@ -318,20 +330,21 @@ class HierarchicalCacheBase(CacheEngine):
         return now_us
 
     def insert_many(
-        self, keys: list[int], sizes: list[int], now_us: float, step_us: float
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+        *,
+        offsets: list[int] | None = None,
     ) -> float:
-        mix = self._bucket_mix
-        mask = _MASK
-        nb = self.hlog.num_buckets
         hlog_insert = self.hlog.insert
         counters = self.counters
         inserts = 0
         insert_bytes = 0
-        for key, size in zip(keys, sizes):
-            z = ((key & mask) ^ mix) + 0x9E3779B97F4A7C15 & mask
-            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9 & mask
-            z = (z ^ (z >> 27)) * 0x94D049BB133111EB & mask
-            b = (z ^ (z >> 31)) % nb
+        if offsets is None:
+            offsets = self._bucket_column(keys)
+        for key, size, b in zip(keys, sizes, offsets):
             inserts += 1
             insert_bytes += size
             if not hlog_insert(key, size, now_us=now_us, bucket=b):

@@ -16,6 +16,7 @@ widths, not Python's allocator.
 from __future__ import annotations
 
 from collections import deque
+from itertools import repeat
 
 from repro.baselines.base import CacheEngine, LookupResult
 from repro.errors import ConfigError, ObjectTooLargeError, ReadError
@@ -233,6 +234,149 @@ class LogStructuredCache(CacheEngine):
         counters.insert_bytes += insert_bytes
         self.stats.logical_write_bytes += insert_bytes
         return now_us
+
+    def insert_column(
+        self,
+        keys: list[int],
+        sizes: list[int],
+        cuts: list[int],
+        prune: list[int],
+        prune_pages: list[int],
+        pages: list[int],
+        now_us: float = 0.0,
+    ) -> None:
+        """Columnar insert run: apply a pre-classified insert sequence.
+
+        The columnar kernel (``harness/columnar.py``) has already solved
+        the data-dependent parts of :meth:`insert_many` as whole-trace
+        array programs, so this path skips every per-request decision:
+
+        - ``cuts``: ascending run-relative positions whose insert flushes
+          the page buffer first (the exact ``_buffer_bytes`` recurrence,
+          solved ahead of time) — events between two cuts form one page
+          and are applied with bulk dict operations.
+        - ``prune`` / ``prune_pages``: run-relative positions whose key
+          has a live flash-resident prior copy, and the device page
+          holding that stale copy, which must leave its durable image
+          (the buffered-copy case needs no pruning).
+        - ``pages``: per-event final placement — the device page each
+          object occupies once every flush in this run has happened, or
+          ``-1`` if it is still buffered at run end.  Valid because a
+          non-wrapped device writes pages strictly sequentially, so the
+          kernel predicts page ids from flush ordinals.
+
+        With placements known ahead of time, the whole run's index
+        writes collapse to **one** bulk ``dict.update`` (the last copy
+        of a key wins, exactly like per-event assignment), and each
+        flush is bulk dict construction.  Intermediate index states are
+        unobservable: nothing reads the index during a run except a
+        leftover-buffer flush (handled first, exactly) and eviction
+        scans, which the caller excludes.
+
+        Preconditions (the kernel guarantees them): no object exceeds
+        the page, the run contains no deletes, the device has no
+        latency model, and no flush in the run can recycle a zone
+        (runs at or past the device wrap point take
+        :meth:`insert_many`).  State after the run is identical to
+        :meth:`insert_many` except for ``_index`` key order, which
+        nothing observes.
+        """
+        index = self._index
+        page_objs = self._page_objs
+        device = self.device
+        n_run = len(keys)
+
+        total = sum(sizes)
+        counters = self.counters
+        counters.inserts += n_run
+        counters.insert_bytes += total
+        self.stats.logical_write_bytes += total
+
+        pos = 0
+        pi = 0
+        n_prune = len(prune)
+        ci = 0
+        if cuts and self._buffer:
+            # Leftover buffer from before the run (possibly holding
+            # deleted-while-buffered keys): the first flush must take
+            # the exact scalar path, which filters the buffer against
+            # the index.  The event *at* the cut triggers the flush, and
+            # its insert drops a superseded buffered copy from the index
+            # before the buffer is written — so that copy must not reach
+            # the page.
+            cut = cuts[0]
+            while pi < n_prune and prune[pi] < cut:
+                page_objs[prune_pages[pi]].pop(keys[prune[pi]], None)
+                pi += 1
+            seg_keys = keys[:cut]
+            seg_sizes = sizes[:cut]
+            index.update(zip(seg_keys, zip(repeat(-1), seg_sizes)))
+            self._buffer.extend(zip(seg_keys, seg_sizes))
+            trig_key = keys[cut]
+            trig_old = index.get(trig_key)
+            if trig_old is not None and trig_old[0] < 0:
+                del index[trig_key]
+            self._flush_buffer(now_us=now_us)
+            pos = cut
+            ci = 1
+        # Whole-run final placements in one bulk write.  Re-binding the
+        # just-flushed first segment is idempotent (its predicted pages
+        # equal the page the scalar flush assigned), and entries that
+        # point at pages later flushes create are not read before those
+        # flushes run.
+        index.update(zip(keys, zip(pages, sizes)))
+        zone_id = self._open_zone
+        zones = device.zones
+        append_page = device.append_page
+        zone_keys_map = self._zone_keys
+        flush_seq = self._flush_seq
+        zone_left = zones[zone_id].remaining_pages if zone_id is not None else 0
+        zone_keys = zone_keys_map[zone_id] if zone_id is not None else []
+        for cut in cuts[ci:]:
+            # Prune pass: drop superseded flash-resident copies from
+            # their durable page images (exactly what the per-event
+            # ``old[0] >= 0`` branch of insert_many does, with the page
+            # predicted instead of read from the index).
+            while pi < n_prune and prune[pi] < cut:
+                page_objs[prune_pages[pi]].pop(keys[prune[pi]], None)
+                pi += 1
+            if zone_id is None:
+                zone_id = self._writable_zone(now_us=now_us)
+                zone_left = zones[zone_id].remaining_pages
+                zone_keys = zone_keys_map[zone_id]
+            # Fast flush: the buffer is exactly this segment and every
+            # buffered key except a superseded trigger copy is live, so
+            # the page image collapses to bulk dict construction (last
+            # copy of a key wins, first-occurrence order — same as
+            # per-entry assignment).  A buffered trigger copy can only
+            # come from this segment (the buffer was empty when it
+            # started), so the index never saw it.
+            seg_keys = keys[pos:cut]
+            objs = dict(zip(seg_keys, sizes[pos:cut]))
+            trig_key = keys[cut]
+            if objs.pop(trig_key, None) is not None:
+                seg_keys = [k for k in seg_keys if k != trig_key]
+            page = append_page(zone_id, (flush_seq, objs))
+            flush_seq += 1
+            page_objs[page] = objs
+            zone_keys.extend(seg_keys)
+            zone_left -= 1
+            if not zone_left:
+                zone_id = self._open_zone = None
+            pos = cut
+        self._flush_seq = flush_seq
+        while pi < n_prune:
+            page_objs[prune_pages[pi]].pop(keys[prune[pi]], None)
+            pi += 1
+        if pos < n_run:
+            # Trailing partial page: stays in the write buffer (its
+            # index entries are the ``-1`` placements written above).
+            tail_keys = keys[pos:]
+            tail_sizes = sizes[pos:]
+            self._buffer.extend(zip(tail_keys, tail_sizes))
+            self._buffer_bytes += (
+                sum(tail_sizes) + self.object_header_bytes * len(tail_keys)
+            )
 
     def object_count(self) -> int:
         return len(self._index)

@@ -17,12 +17,16 @@ cost analytically.
 
 from __future__ import annotations
 
+from typing import Callable
+
+import numpy as np
+
 from repro.baselines.base import CacheEngine, LookupResult
 from repro.errors import ConfigError, ObjectTooLargeError
 from repro.flash.conventional import ConventionalSSD
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
-from repro.hashing import bucket_of
+from repro.hashing import bucket_of, splitmix64_array
 
 #: CacheLib's per-set negative-lookup bloom filter budget (paper: "the
 #: lowest memory cost (4 bits/obj)").
@@ -75,9 +79,23 @@ class SetAssociativeCache(CacheEngine):
     def _set_of(self, key: int) -> int:
         return bucket_of(key, self.num_sets, seed=self.hash_seed)
 
+    def _set_column(self, keys: list[int]) -> list[int]:
+        """Vectorised :meth:`_set_of` over a key batch (exact)."""
+        hashed = splitmix64_array(
+            np.asarray(keys, dtype=np.uint64), self.hash_seed
+        )
+        return (hashed % np.uint64(self.num_sets)).tolist()
+
+    def columnar_spec(self) -> tuple[int, int]:
+        """Placement column spec: ``hash64(key, seed) % num_sets``."""
+        return (self.hash_seed, self.num_sets)
+
     def lookup(self, key: int, size: int, now_us: float = 0.0) -> LookupResult:
+        return self._lookup_in(self._set_of(key), key, now_us)
+
+    def _lookup_in(self, sid: int, key: int, now_us: float) -> LookupResult:
+        """Scalar lookup body with the set id already resolved."""
         self.counters.lookups += 1
-        sid = self._set_of(key)
         sset = self._sets[sid]
         if key not in sset.objects:
             # The per-set bloom filter rejects the key without flash I/O.
@@ -88,11 +106,14 @@ class SetAssociativeCache(CacheEngine):
         return LookupResult(hit=True, latency_us=lat, flash_reads=1, source="flash")
 
     def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        self._insert_in(self._set_of(key), key, size, now_us)
+
+    def _insert_in(self, sid: int, key: int, size: int, now_us: float) -> None:
+        """Scalar insert body with the set id already resolved."""
         if size > self.geometry.page_size:
             raise ObjectTooLargeError(
                 f"object of {size} B exceeds the {self.geometry.page_size} B set"
             )
-        sid = self._set_of(key)
         sset = self._sets[sid]
 
         self.record_admission(size)
@@ -124,6 +145,59 @@ class SetAssociativeCache(CacheEngine):
         # Aliasing the dict keeps later mutations durable in place, so
         # snapshotting per insert stays pure copy churn we avoid.
         self.device.write(sid, sset.objects, now_us=now_us)
+
+    # ------------------------------------------------------------------
+    # Bulk request paths (batched replay dispatch)
+    # ------------------------------------------------------------------
+    # Same per-request semantics as the base-class fallbacks, but the
+    # key→set hash is consumed as a precomputed column (``offsets`` from
+    # the columnar lane, else one vectorised sweep here) instead of
+    # being re-derived per request — twice per miss in the scalar loop.
+
+    def lookup_many(
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+        record: Callable[[float], None] | None = None,
+        *,
+        offsets: list[int] | None = None,
+    ) -> float:
+        if offsets is None:
+            offsets = self._set_column(keys)
+        lookup_in = self._lookup_in
+        insert_in = self._insert_in
+        if record is None:
+            for key, size, sid in zip(keys, sizes, offsets):
+                if not lookup_in(sid, key, now_us).hit:
+                    insert_in(sid, key, size, now_us)
+                now_us += step_us
+        else:
+            for key, size, sid in zip(keys, sizes, offsets):
+                result = lookup_in(sid, key, now_us)
+                record(result.latency_us)
+                if not result.hit:
+                    insert_in(sid, key, size, now_us)
+                now_us += step_us
+        return now_us
+
+    def insert_many(
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+        *,
+        offsets: list[int] | None = None,
+    ) -> float:
+        if offsets is None:
+            offsets = self._set_column(keys)
+        insert_in = self._insert_in
+        for key, size, sid in zip(keys, sizes, offsets):
+            insert_in(sid, key, size, now_us)
+            now_us += step_us
+        return now_us
 
     def delete(self, key: int) -> bool:
         sid = self._set_of(key)

@@ -9,6 +9,13 @@ the paper's headline metrics.  Examples::
     python -m repro --engine all --requests 200000
     python -m repro --engine nemo --trace-csv cluster52.csv --requests 1000000
 
+The ``replay`` subcommand selects the replay kernel lane explicitly and
+can shard one trace across worker processes with byte-identical
+metrics (DESIGN.md §5)::
+
+    python -m repro replay --engine log --kernel columnar --shards 4
+    python -m repro replay --engine all --kernel scalar
+
 The ``profile`` subcommand runs one experiment under ``cProfile`` and
 prints the hottest call sites, so perf work starts from data::
 
@@ -204,6 +211,113 @@ def faults_main(argv: list[str]) -> int:
     return 0
 
 
+def replay_main(argv: list[str]) -> int:
+    """``python -m repro replay``: explicit kernel lane, optional sharding.
+
+    Selects the replay kernel (``batched``, ``columnar``, ``scalar``)
+    and, with ``--shards N``, splits the trace into N deterministic
+    shards replayed across worker processes and merged exactly —
+    byte-identical metrics to the serial run (falling back to serial
+    replay when the engine/trace is ineligible)::
+
+        python -m repro replay --engine log --kernel columnar --shards 4
+        python -m repro replay --engine all --kernel columnar
+    """
+    from repro.harness.parallel import replay_sharded
+    from repro.harness.runner import REPLAY_KERNELS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro replay",
+        description="Replay a workload on a chosen kernel lane, "
+        "optionally sharded across worker processes.",
+    )
+    parser.add_argument(
+        "--engine", default="log", choices=ENGINE_NAMES + ("all",)
+    )
+    parser.add_argument("--requests", type=int, default=200_000)
+    parser.add_argument("--zones", type=int, default=16)
+    parser.add_argument("--wss-scale", type=float, default=1 / 128)
+    parser.add_argument("--trace-csv", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        choices=REPLAY_KERNELS,
+        help="replay kernel lane (default: $REPRO_REPLAY_KERNEL or batched)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="deterministic intra-trace shards (>=2 enables the "
+        "parallel columnar lane; metrics stay byte-identical)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="worker processes for shards"
+    )
+    parser.add_argument("--sample-every", type=int, default=None)
+    parser.add_argument("--flush-threshold", type=int, default=8)
+    parser.add_argument("--sgs-per-index-group", type=int, default=4)
+    parser.add_argument("--cached-index-ratio", type=float, default=0.5)
+    parser.add_argument("--progress", action="store_true")
+    args = parser.parse_args(argv)
+
+    geometry = FlashGeometry(
+        page_size=4096,
+        pages_per_block=64,
+        num_blocks=args.zones * 4,
+        blocks_per_zone=4,
+    )
+    if args.trace_csv:
+        trace = load_twitter_csv(args.trace_csv, max_requests=args.requests)
+    else:
+        trace = merged_twitter_trace(
+            num_requests=args.requests, wss_scale=args.wss_scale, seed=args.seed
+        )
+    print(f"device: {geometry.describe()}")
+    print(trace.describe())
+
+    names = list(ENGINE_NAMES) if args.engine == "all" else [args.engine]
+    rows = []
+    for name in names:
+        engine = build_engine(name, geometry, args)
+        if args.shards > 1:
+            result = replay_sharded(
+                engine,
+                trace,
+                shards=args.shards,
+                jobs=args.jobs,
+                sample_every=args.sample_every,
+                kernel=args.kernel,
+                progress=args.progress,
+            )
+        else:
+            result = replay(
+                engine,
+                trace,
+                sample_every=args.sample_every,
+                kernel=args.kernel,
+                progress=args.progress,
+            )
+        rows.append(
+            [
+                engine.name,
+                result.kernel,
+                result.final.get("wa", float("nan")),
+                result.miss_ratio,
+                f"{result.num_requests / max(result.wall_seconds, 1e-9) / 1e6:.2f}M",
+                f"{result.wall_seconds:.1f}s",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["engine", "kernel", "WA", "miss", "req/s", "wall"], rows
+        )
+    )
+    return 0
+
+
 def profile_main(argv: list[str]) -> int:
     """``python -m repro profile <experiment>``: cProfile one cell."""
     import cProfile
@@ -237,6 +351,8 @@ def profile_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "replay":
+        return replay_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
     if argv and argv[0] == "faults":

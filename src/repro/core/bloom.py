@@ -22,8 +22,10 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import ConfigError
-from repro.hashing import hash_pair
+from repro.hashing import hash_pair, hash_pair_array
 
 LN2 = math.log(2.0)
 
@@ -146,6 +148,48 @@ class BloomFilter:
                     break
             append(member)
         return out
+
+    # ------------------------------------------------------------------
+    # Array kernels (columnar replay lane, DESIGN.md §5)
+    # ------------------------------------------------------------------
+    def _probe_matrix(self, keys: np.ndarray) -> np.ndarray:
+        """Probe bit positions per key, shape ``(len(keys), num_hashes)``.
+
+        Bit-exact with the scalar ``(h1 + i*h2) % m`` probes: the scalar
+        arithmetic runs in unbounded Python ints, so the uint64 form
+        reduces both hashes mod ``m`` *before* the multiply —
+        ``((h1 % m) + i*(h2 % m)) % m`` is congruent and cannot wrap 64
+        bits (``num_hashes * m`` is far below 2**64 for any real filter).
+        """
+        h1, h2 = hash_pair_array(keys)
+        m = np.uint64(self.num_bits)
+        i = np.arange(self.num_hashes, dtype=np.uint64)
+        return ((h1 % m)[:, None] + i[None, :] * (h2 % m)[:, None]) % m
+
+    def add_array(self, keys: np.ndarray) -> None:
+        """Vectorised :meth:`add_many` over an integer key column.
+
+        Decision pass: one hash sweep marks every probed bit in a dense
+        bitmap.  Mutation: a single integer OR folds the bitmap into the
+        shared bit array — same bits and count as the scalar loop.
+        """
+        if len(keys) == 0:
+            return
+        bitmap = np.zeros(self.num_bits, dtype=bool)
+        bitmap[self._probe_matrix(keys).ravel()] = True
+        packed = np.packbits(bitmap, bitorder="little").tobytes()
+        self._bits |= int.from_bytes(packed, "little")
+        self.count += len(keys)
+
+    def contains_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`contains_many`: one bool verdict per key."""
+        if len(keys) == 0:
+            return np.zeros(0, dtype=bool)
+        nbytes = (self.num_bits + 7) // 8
+        data = np.frombuffer(self._bits.to_bytes(nbytes, "little"), dtype=np.uint8)
+        bits = np.unpackbits(data, bitorder="little", count=self.num_bits)
+        verdict: np.ndarray = bits[self._probe_matrix(keys)].all(axis=1)
+        return verdict
 
     def clear(self) -> None:
         self._bits = 0

@@ -23,6 +23,8 @@ from __future__ import annotations
 from array import array
 from typing import Callable
 
+import numpy as np
+
 from repro.errors import ConfigError
 
 
@@ -84,6 +86,57 @@ class HotnessTracker:
             table[offset] if table is not None else self._page_of_offset(offset)
         )
         return self._page_idx_cached(page_idx)
+
+    # ------------------------------------------------------------------
+    # Array kernels (columnar replay lane, DESIGN.md §5)
+    # ------------------------------------------------------------------
+    def record_access_array(
+        self, keys: np.ndarray, offsets: np.ndarray, in_window: np.ndarray
+    ) -> None:
+        """Bulk :meth:`record_access` over parallel columns.
+
+        ``in_window`` is the per-key boolean tracking gate.  The bitmap
+        mutation is one ordered dict update, so a key appearing twice in
+        the batch keeps its *last* offset — same as the scalar loop.
+        """
+        tracked = keys[in_window]
+        if len(tracked):
+            self._bits.update(zip(tracked.tolist(), offsets[in_window].tolist()))
+
+    def is_hot_array(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_hot`: one bool verdict per key.
+
+        Decision pass: gather each key's tracked offset, map offsets to
+        PBFG page indices through the flat table, then resolve the cache
+        occupancy once per *distinct* page index (the verdict depends
+        only on the page, and a batch touches few distinct pages).
+        """
+        n = len(keys)
+        out = np.zeros(n, dtype=bool)
+        if n == 0 or not self._bits:
+            return out
+        bits_get = self._bits.get
+        offs = np.fromiter(
+            (bits_get(k, -1) for k in keys.tolist()), dtype=np.int64, count=n
+        )
+        tracked = offs >= 0
+        if not tracked.any():
+            return out
+        table = self._offset_page
+        if table is not None:
+            pages = np.asarray(table, dtype=np.int64)[offs[tracked]]
+        else:
+            page_of = self._page_of_offset
+            pages = np.fromiter(
+                (page_of(o) for o in offs[tracked].tolist()), dtype=np.int64
+            )
+        uniq, inv = np.unique(pages, return_inverse=True)
+        cached = self._page_idx_cached
+        verdicts = np.fromiter(
+            (cached(p) for p in uniq.tolist()), dtype=bool, count=len(uniq)
+        )
+        out[tracked] = verdicts[inv]
+        return out
 
     def discard(self, key: int) -> None:
         self._bits.pop(key, None)

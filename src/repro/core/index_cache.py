@@ -85,6 +85,23 @@ class IndexCache:
         self._page_idx_counts[page[1]] += 1
         return False
 
+    def access_many(self, pages: list[PageKey]) -> list[bool]:
+        """Bulk :meth:`access` with an all-resident decision pass.
+
+        The steady-state common case — every consulted PBFG page is
+        already cached — mutates nothing (plain FIFO: re-access does not
+        refresh position), so it is decided with one membership sweep
+        and settled with a single hit-counter bump.  Any miss falls back
+        to the exact scalar loop: FIFO admission is order-dependent, so
+        the mutation path stays per-page.
+        """
+        fifo = self._fifo
+        if all(p in fifo for p in pages):
+            self.hits += len(pages)
+            return [True] * len(pages)
+        access = self.access
+        return [access(p) for p in pages]
+
     def _dec(self, page_idx: int) -> None:
         counts = self._page_idx_counts
         counts[page_idx] -= 1

@@ -47,7 +47,9 @@ from repro.errors import ConfigError, EngineStateError, ObjectTooLargeError
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
 from repro.flash.zns import ZNSDevice
-from repro.hashing import _MASK, hash64, splitmix64
+import numpy as np
+
+from repro.hashing import hash64, splitmix64_array
 
 
 @dataclass
@@ -153,10 +155,8 @@ class NemoCache(CacheEngine):
             num_offsets=self.sets_per_sg,
         )
 
-        # Hot-path constants: the seed mix of the key→offset hash (so
-        # the bulk paths inline the splitmix64 chain) and the hotness
-        # window limit in SG positions (hoisted out of `_in_window`).
-        self._hash_mix = splitmix64(self.config.hash_seed)
+        # Hot-path constant: the hotness window limit in SG positions
+        # (hoisted out of `_in_window`).
         self._window_sgs = (
             self.config.hotness_window_fraction * self.pool_capacity_sgs
         )
@@ -220,6 +220,21 @@ class NemoCache(CacheEngine):
 
     def _offset(self, key: int) -> int:
         return hash64(key, self.config.hash_seed) % self.sets_per_sg
+
+    def _offset_column(self, keys: list[int]) -> list[int]:
+        """Vectorised :meth:`_offset` over a key batch.
+
+        One splitmix64 sweep replaces the per-key hash chain; element-
+        wise equal to the scalar hash (``splitmix64_array`` is exact).
+        """
+        hashed = splitmix64_array(
+            np.asarray(keys, dtype=np.uint64), self.config.hash_seed
+        )
+        return (hashed % np.uint64(self.sets_per_sg)).tolist()
+
+    def columnar_spec(self) -> tuple[int, int]:
+        """Placement column spec: ``hash64(key, seed) % sets_per_sg``."""
+        return (self.config.hash_seed, self.sets_per_sg)
 
     # ------------------------------------------------------------------
     # CacheEngine API
@@ -297,13 +312,16 @@ class NemoCache(CacheEngine):
         fast_dev = device.latency is None
 
         # --- PBFG consultation: one index page per live group ---------
+        # Decision pass first (``access_many``'s all-resident sweep);
+        # the admission mutations only run when some page missed.
         self.pbfg_lookups += 1
-        miss_pages: list[int] = []
-        for page_key, physical in self.index_pool.pages_for_offset(offset):
-            self.pbfg_touches += 1
-            if not self.index_cache.access(page_key):
-                self.pbfg_pool_reads += 1
-                miss_pages.append(physical)
+        entries = self.index_pool.pages_for_offset(offset)
+        self.pbfg_touches += len(entries)
+        cached = self.index_cache.access_many([pk for pk, _ in entries])
+        miss_pages = [
+            physical for (_, physical), hit in zip(entries, cached) if not hit
+        ]
+        self.pbfg_pool_reads += len(miss_pages)
         flash_reads = 0
         latency = 0.0
         if miss_pages:
@@ -336,34 +354,33 @@ class NemoCache(CacheEngine):
         now_us: float,
         step_us: float,
         record: Callable[[float], None] | None = None,
+        *,
+        offsets: list[int] | None = None,
     ) -> float:
         """Batched GET run with read-through admission.
 
         Per-request semantics, counter totals and RNG draw sequence are
         identical to scalar ``lookup`` + ``insert``-on-miss; the key
-        hash is inlined (one splitmix64 chain), the in-memory probe
-        walks the SG-queue set dicts directly, and request counters are
-        accumulated locally and flushed once per run (nothing observes
-        them mid-run — the harness samples only at chunk boundaries).
+        hash is consumed as a precomputed column (``offsets`` from the
+        columnar lane, else one vectorised sweep here), the in-memory
+        probe walks the SG-queue set dicts directly, and request
+        counters are accumulated locally and flushed once per run
+        (nothing observes them mid-run — the harness samples only at
+        chunk boundaries).
         """
         counters = self.counters
         queue_dq = self.queue._queue
         pool = self.pool
-        mix = self._hash_mix
-        mask = _MASK
-        spsg = self.sets_per_sg
         set_size = self.set_size
         try_insert = self.queue.try_insert
         flash_lookup = self._flash_lookup
         record_access = self.hotness.record_access
         window_sgs = self._window_sgs
+        if offsets is None:
+            offsets = self._offset_column(keys)
         lookups = hits = inserts = insert_bytes = read_bytes = 0
-        for key, size in zip(keys, sizes):
+        for key, size, offset in zip(keys, sizes, offsets):
             lookups += 1
-            z = (((key & mask) ^ mix) + 0x9E3779B97F4A7C15) & mask
-            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
-            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
-            offset = (z ^ (z >> 31)) % spsg
             mem_size = None
             for sg in queue_dq:
                 mem_size = sg.sets[offset].objects.get(key)
@@ -412,27 +429,28 @@ class NemoCache(CacheEngine):
         return now_us
 
     def insert_many(
-        self, keys: list[int], sizes: list[int], now_us: float, step_us: float
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+        *,
+        offsets: list[int] | None = None,
     ) -> float:
-        """Batched SET run: scalar ``insert`` semantics, hash inlined."""
+        """Batched SET run: scalar ``insert`` semantics, hash columnised."""
         counters = self.counters
-        mix = self._hash_mix
-        mask = _MASK
-        spsg = self.sets_per_sg
         set_size = self.set_size
         try_insert = self.queue.try_insert
+        if offsets is None:
+            offsets = self._offset_column(keys)
         inserts = insert_bytes = 0
-        for key, size in zip(keys, sizes):
+        for key, size, offset in zip(keys, sizes, offsets):
             if size > set_size:
                 raise ObjectTooLargeError(
                     f"object of {size} B exceeds the {set_size} B set"
                 )
             inserts += 1
             insert_bytes += size
-            z = (((key & mask) ^ mix) + 0x9E3779B97F4A7C15) & mask
-            z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
-            z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
-            offset = (z ^ (z >> 31)) % spsg
             if not try_insert(offset, key, size):
                 self._insert_blocked(offset, key, size, now_us)
             now_us += step_us

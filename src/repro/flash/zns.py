@@ -20,9 +20,9 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.errors import ZoneStateError
+from repro.errors import DeviceError, ZoneStateError
 from repro.faults.plan import FaultPlan
-from repro.flash.device import NandArray
+from repro.flash.device import PAGE_PROGRAMMED, NandArray
 from repro.flash.geometry import FlashGeometry
 from repro.flash.latency import LatencyModel
 from repro.flash.stats import FlashStats
@@ -128,7 +128,21 @@ class ZNSDevice:
             else ZoneState.OPEN
         )
         page = zone_id * self.geometry.pages_per_zone + offset
-        self.nand.program(page, payload)
+        nand = self.nand
+        if nand._fault_plan is None:
+            # NANDArray.program inlined (fault-free case): the zone
+            # state machine above already bounds the page, so only the
+            # double-program check remains.
+            state = nand._state
+            if state[page] == PAGE_PROGRAMMED:
+                raise DeviceError(
+                    f"page {page} already programmed; erase its block first"
+                )
+            state[page] = PAGE_PROGRAMMED
+            nand._payload[page] = payload
+            nand.program_count += 1
+        else:
+            nand.program(page, payload)
         stats = self.stats
         nbytes = self.geometry.page_size
         stats.host_write_bytes += nbytes

@@ -11,7 +11,14 @@ trend, flash writes per minute).
 
 from repro.harness.percentile import LatencyRecorder, StreamingQuantile
 from repro.harness.metrics import MetricSeries, WindowedRate
-from repro.harness.parallel import Cell, CellFailure, default_jobs, run_cells
+from repro.harness.parallel import (
+    Cell,
+    CellFailure,
+    default_jobs,
+    replay_sharded,
+    run_cells,
+    sharding_eligible,
+)
 from repro.harness.runner import ReplayResult, replay
 from repro.harness.report import cdf_from_counter, format_table
 
@@ -28,4 +35,6 @@ __all__ = [
     "CellFailure",
     "default_jobs",
     "run_cells",
+    "replay_sharded",
+    "sharding_eligible",
 ]

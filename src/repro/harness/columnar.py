@@ -1,0 +1,585 @@
+"""Whole-trace columnar replay kernel (DESIGN.md §5).
+
+# reprolint: columnar-kernel-zone
+
+The batched lane (``harness/runner.py``) still walks every request in a
+Python loop inside the engines' bulk methods; that caps replay at ~2M
+req/s.  This module processes an entire trace as numpy column passes
+against the Log engine, split into the two phases the columnar contract
+requires:
+
+- **Decision pass** (vectorised, loop-free): classify every GET as
+  hit/miss from per-key previous-occurrence links, predict the exact
+  buffer-flush schedule from the insert-event size sequence, classify
+  every hit as buffer-hit vs flash-hit by whether a flush falls between
+  the hit and the insert event that placed the object, and predict the
+  device page each insert lands on (pages allocate sequentially until
+  the device wraps).  All engine-independent columns are cached on the
+  trace (``Trace._kernel_cache``) — repeated replays of the same trace
+  pay the sort exactly once, the "hash once up front" contract applied
+  to the whole decision pass.
+- **Mutation loop** (compact, annotated): only the surviving state
+  changes — misses, SETs, and DELETEs, ~20 % of a GET-heavy trace — are
+  applied to the real engine via its bulk insert path, in request order.
+  Lookup-side counters settle per chunk in O(1) from padded prefix sums.
+
+The engine remains the source of truth: every sampled metric comes from
+``engine.metrics_snapshot()`` after the kernel settles its deferred
+lookup counters, so the lane is byte-identical to the batched lane (the
+parity goldens compare all three lanes).
+
+Correctness boundaries (the kernel *refuses* rather than approximates):
+
+- Only a virgin :class:`LogStructuredCache` on a latency-free device,
+  with no fault plan and no oversized objects, is eligible
+  (:func:`log_kernel_eligible`); anything else replays on the batched
+  lane.
+- The decision pass assumes no engine-driven eviction: evicting a key
+  would turn its next GET from a (classified) hit into a miss.  The
+  flush schedule is exact, so evictions can only happen at predicted
+  flush points; once the flush ordinal reaches the page count (the
+  first flush that *can* recycle a zone), runs fall back to the exact
+  ``insert_many`` path and the walker checks the engine's eviction
+  counter after each flush.  On the first live-object eviction it
+  *bails* — settles counters for the exactly-processed prefix and hands
+  the remaining suffix back to the batched lane mid-replay.  Wrapping
+  workloads therefore replay as a columnar prefix + batched suffix,
+  still byte-identical.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import cast
+
+import numpy as np
+
+from repro.baselines.log_structured import LogStructuredCache
+from repro.faults.plan import FaultPlan
+from repro.harness.metrics import MetricSeries, WindowedRate
+from repro.harness.percentile import LatencyRecorder
+from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace
+
+
+@dataclass(frozen=True)
+class ColumnarOutcome:
+    """What the kernel processed.
+
+    ``resume_pos`` is the first request the kernel did *not* process;
+    ``now_us`` is the simulated clock after the last processed request,
+    ready for the batched lane to continue accumulating from.
+    ``completed`` distinguishes a full replay from a bail-out that
+    stopped exactly at the final boundary (whose sample the batched
+    lane still owes).
+    """
+
+    resume_pos: int
+    now_us: float
+    completed: bool
+
+
+def log_kernel_eligible(
+    engine: object, trace: Trace, faults: FaultPlan | None
+) -> bool:
+    """Whether the whole-trace Log kernel may replay this combination.
+
+    The kernel's decision pass assumes it observes every state change,
+    so the engine must start empty; latency models and fault plans need
+    per-request treatment and stay on the batched lane.
+    """
+    if type(engine) is not LogStructuredCache:
+        return False
+    if faults is not None or engine.device.latency is not None:
+        return False
+    counters = engine.counters
+    if counters.lookups or counters.inserts or counters.deletes:
+        return False
+    if engine.object_count() or engine._buffer_bytes:
+        return False
+    stats = engine.stats
+    if stats.host_write_bytes or stats.logical_write_bytes:
+        return False
+    n = len(trace)
+    if n == 0:
+        return False
+    max_stored = int(trace.sizes.max()) + engine.object_header_bytes
+    if max_stored > engine.geometry.page_size:
+        # An oversized object must raise at its exact request position;
+        # only the per-request lanes can do that.
+        return False
+    return True
+
+
+def _flush_schedule(ins_stored: np.ndarray, page_size: int) -> np.ndarray:
+    """Predict which insert events flush the page buffer.
+
+    The Log engine flushes when ``buffer_bytes + stored > page_size``
+    and *nothing else* mutates ``buffer_bytes`` (deletes and evictions
+    leave it alone), so the schedule is a pure recurrence over the
+    insert-event stored sizes.  Returns the ascending indices (into the
+    insert-event sequence) of the events whose insert flushes.
+    """
+    limit = len(ins_stored)
+    if limit == 0:
+        return np.empty(0, dtype=np.int64)
+    cs = np.cumsum(ins_stored).tolist()
+    triggers: list[int] = []
+    base = 0
+    j = 0
+    # Mutation loop: data-dependent reset-cumsum (one iteration per
+    # *flush*, not per request; bisect jumps whole pages at C speed).
+    # reprolint: disable=R008
+    while True:
+        j = bisect_right(cs, base + page_size, j)
+        if j >= limit:
+            break
+        triggers.append(j)
+        base = cs[j - 1] if j else 0
+    return np.asarray(triggers, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class _TraceLinks:
+    """Engine-independent decision columns, cached per trace.
+
+    Pure functions of ``(ops, keys, sizes)`` — every replay of the same
+    trace object (any geometry, any boundary layout) reuses them.
+    ``cum_*`` arrays are length ``n + 1`` prefix sums padded with a
+    leading zero, so the per-chunk settle is a pair of O(1) lookups.
+    """
+
+    prev_pos: np.ndarray
+    hit: np.ndarray
+    is_ins_event: np.ndarray
+    ins_pos: np.ndarray
+    last_ev: np.ndarray
+    ins_pos_list: list[int]
+    ins_keys: list[int]
+    ins_sizes: list[int]
+    del_pos_list: list[int]
+    del_keys: list[int]
+    cum_get: np.ndarray
+    cum_hit: np.ndarray
+    cum_read_bytes: np.ndarray
+    cum_ins: np.ndarray
+    cum_ins_bytes: np.ndarray
+    cum_live: np.ndarray
+
+
+def _trace_links(trace: Trace) -> _TraceLinks:
+    cached = trace._kernel_cache.get("log-links")
+    if cached is not None:
+        return cast(_TraceLinks, cached)
+    ops = trace.ops
+    keys = trace.keys
+    sizes = trace.sizes
+    n = len(trace)
+
+    is_get = ops == OP_GET
+    is_del = ops == OP_DELETE
+
+    # Per-key previous-occurrence links: stable sort groups each key's
+    # requests in position order.
+    sort_idx = np.argsort(keys, kind="stable")
+    sorted_keys = keys[sort_idx]
+    same = np.zeros(n, dtype=bool)
+    same[1:] = sorted_keys[1:] == sorted_keys[:-1]
+    prev_pos = np.full(n, -1, dtype=np.int64)
+    tail = np.flatnonzero(same)
+    prev_pos[sort_idx[tail]] = sort_idx[tail - 1]
+
+    # Key-resident-before-request indicator: the key has a previous
+    # occurrence and that request was not a DELETE — any GET (hit or
+    # read-through miss) or SET leaves the key resident, a DELETE
+    # leaves it absent.  Evictions — the one event this rule cannot
+    # see — are handled by the bail-out below.
+    present = np.zeros(n, dtype=bool)
+    linked = prev_pos >= 0
+    present[linked] = ops[prev_pos[linked]] != OP_DELETE
+    hit = is_get & present
+
+    # Insert events: explicit SETs plus read-through misses.
+    is_ins_event = (ops == OP_SET) | (is_get & ~hit)
+    ins_pos = np.flatnonzero(is_ins_event)
+
+    # Last insert event per key at each position (forward-fill within
+    # key groups via the segment-offset cummax trick): the event that
+    # placed the object a hit is served from.
+    rank_sorted = np.cumsum(~same) - 1
+    seg = rank_sorted * np.int64(n + 1)
+    marker = np.where(is_ins_event[sort_idx], sort_idx + 1, 0) + seg
+    last_ev = np.empty(n, dtype=np.int64)
+    last_ev[sort_idx] = np.maximum.accumulate(marker) - seg - 1
+
+    cum_get = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(is_get, out=cum_get[1:])
+    cum_hit = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(hit, out=cum_hit[1:])
+    # A hit reads the *stored* object — the size of the key's placing
+    # insert event, not the GET's own size column (a trace may
+    # re-request a key with a different size).
+    read_sizes = np.zeros(n, dtype=np.int64)
+    hit_pos = np.flatnonzero(hit)
+    read_sizes[hit_pos] = sizes[last_ev[hit_pos]]
+    cum_read_bytes = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(read_sizes, out=cum_read_bytes[1:])
+    cum_ins = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(is_ins_event, out=cum_ins[1:])
+    cum_ins_bytes = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.where(is_ins_event, sizes, 0), out=cum_ins_bytes[1:])
+    # Live-object-count delta per request (how ``len(_index)`` moves):
+    # +1 when an absent key is admitted (SET or read-through miss),
+    # -1 when a present key is DELETEd, 0 otherwise.  Prefix-summed so
+    # the analytic sharded lane reads ``object_count`` at any position.
+    live_delta = np.where(
+        present,
+        np.where(is_del, -1, 0),
+        np.where(is_del, 0, 1),
+    ).astype(np.int64)
+    cum_live = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(live_delta, out=cum_live[1:])
+
+    links = _TraceLinks(
+        prev_pos=prev_pos,
+        hit=hit,
+        is_ins_event=is_ins_event,
+        ins_pos=ins_pos,
+        last_ev=last_ev,
+        ins_pos_list=ins_pos.tolist(),
+        ins_keys=keys[ins_pos].tolist(),
+        ins_sizes=sizes[ins_pos].tolist(),
+        del_pos_list=np.flatnonzero(is_del).tolist(),
+        del_keys=keys[is_del].tolist(),
+        cum_get=cum_get,
+        cum_hit=cum_hit,
+        cum_read_bytes=cum_read_bytes,
+        cum_ins=cum_ins,
+        cum_ins_bytes=cum_ins_bytes,
+        cum_live=cum_live,
+    )
+    trace._kernel_cache["log-links"] = links
+    return links
+
+
+@dataclass(frozen=True)
+class _FlushPlan:
+    """Geometry-dependent flush schedule and derived columns.
+
+    Cached per ``(page_size, object_header_bytes)``.  ``pages`` maps
+    each insert event to the device page its object will occupy — on a
+    virgin device zones allocate in order and pages sequentially, so the
+    page id *is* the global flush ordinal covering the event (``-1``
+    when no flush ever covers it).  Only valid below the device's page
+    count; the walker stops using the fast path there.
+    """
+
+    flush_list: list[int]
+    flush_positions: np.ndarray
+    pages: list[int]
+    prune_list: list[int]
+    prune_pages: list[int]
+    cum_flash: np.ndarray
+
+
+def _flush_plan(
+    trace: Trace, links: _TraceLinks, page_size: int, header: int
+) -> _FlushPlan:
+    cache_key = ("log-plan", page_size, header)
+    cached = trace._kernel_cache.get(cache_key)
+    if cached is not None:
+        return cast(_FlushPlan, cached)
+    ops = trace.ops
+    sizes = trace.sizes
+    n = len(trace)
+    ins_pos = links.ins_pos
+    last_ev = links.last_ev
+    prev_pos = links.prev_pos
+
+    flush_evt = _flush_schedule(sizes[ins_pos] + header, page_size)
+    n_flush = len(flush_evt)
+    #: Global request positions whose insert triggers a buffer flush.
+    flush_positions = ins_pos[flush_evt]
+
+    # Predicted placement page per insert event: the ordinal of the
+    # first flush at-or-after the event (side="right": a flush *at* the
+    # event writes the buffer out before the event's own insert, so the
+    # event belongs to the next page).
+    cov = np.searchsorted(flush_evt, np.arange(len(ins_pos)), side="right")
+    pages = np.where(cov < n_flush, cov, -1)
+
+    # Superseded-copy pruning (the ``old[0] >= 0`` branch of insert):
+    # insert events whose key has a live prior copy that reached flash —
+    # the copy was placed at the prior occurrence's last insert event,
+    # and it is on flash iff a flush happened after that placement and
+    # at-or-before this event (a flush *at* this event writes the buffer
+    # out before the re-insert).  ``prune_pages`` is the page holding
+    # the stale copy: the ordinal of the flush covering its placement.
+    prev_of_ins = prev_pos[ins_pos]
+    live_idx = np.flatnonzero(prev_of_ins >= 0)
+    live_idx = live_idx[ops[prev_of_ins[live_idx]] != OP_DELETE]
+    placed_prev = last_ev[prev_of_ins[live_idx]]
+    on_flash = np.searchsorted(
+        flush_positions, ins_pos[live_idx], side="right"
+    ) > np.searchsorted(flush_positions, placed_prev, side="right")
+    prune_evt = live_idx[on_flash]
+    placed_evt = np.searchsorted(ins_pos, placed_prev[on_flash])
+    prune_pages = np.searchsorted(flush_evt, placed_evt, side="right")
+
+    # Flash-hit indicator per request (hit iff a flush separates the
+    # placing insert from the GET), folded into a padded prefix sum so
+    # the per-chunk flash-read settle is O(1).
+    hit_pos = np.flatnonzero(links.hit)
+    placed_hit = last_ev[hit_pos]
+    flash = np.searchsorted(
+        flush_positions, hit_pos, side="left"
+    ) > np.searchsorted(flush_positions, placed_hit, side="right")
+    indicator = np.zeros(n, dtype=np.int64)
+    indicator[hit_pos[flash]] = 1
+    cum_flash = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(indicator, out=cum_flash[1:])
+
+    plan = _FlushPlan(
+        flush_list=flush_evt.tolist(),
+        flush_positions=flush_positions,
+        pages=pages.tolist(),
+        prune_list=prune_evt.tolist(),
+        prune_pages=prune_pages.tolist(),
+        cum_flash=cum_flash,
+    )
+    trace._kernel_cache[cache_key] = plan
+    return plan
+
+
+def _clock(trace: Trace, step_us: float) -> np.ndarray:
+    """Simulated clock after each request.
+
+    ``np.add.accumulate`` is a sequential left fold, so boundary values
+    match the batched lane's per-request additions bit-for-bit (asserted
+    by tests/harness/test_columnar.py).
+    """
+    cache_key = ("log-clock", step_us)
+    cached = trace._kernel_cache.get(cache_key)
+    if cached is not None:
+        return cast(np.ndarray, cached)
+    clock = np.add.accumulate(np.full(len(trace), step_us))
+    trace._kernel_cache[cache_key] = clock
+    return clock
+
+
+def replay_log_columnar(
+    engine: LogStructuredCache,
+    trace: Trace,
+    *,
+    boundaries: list[int],
+    sample_points: set[int],
+    mark_window_at: int | None,
+    series: dict[str, MetricSeries],
+    sampled_metrics: tuple[str, ...],
+    latency: LatencyRecorder,
+    record_latency: bool,
+    write_rate: WindowedRate | None,
+    step_us: float,
+    progress: bool,
+    progress_every: int,
+    sample_every: int,
+) -> ColumnarOutcome:
+    """Replay ``trace`` on the whole-trace columnar kernel.
+
+    Caller guarantees :func:`log_kernel_eligible` returned True.
+    ``boundaries`` is the runner's sorted chunk-boundary list (sample
+    points plus the Fig. 15 window mark, ending at ``len(trace)``).
+    """
+    n = len(trace)
+    header = engine.object_header_bytes
+    page_size = engine.geometry.page_size
+
+    # ------------------------------------------------------------------
+    # Decision pass (vectorised, loop-free; cached across replays)
+    # ------------------------------------------------------------------
+    links = _trace_links(trace)
+    plan = _flush_plan(trace, links, page_size, header)
+    clock = _clock(trace, step_us)
+
+    # ------------------------------------------------------------------
+    # Mutation-loop inputs (compact event lists)
+    # ------------------------------------------------------------------
+    ins_pos = links.ins_pos
+    ins_pos_list = links.ins_pos_list
+    ins_keys = links.ins_keys
+    ins_sizes = links.ins_sizes
+    n_ins = len(ins_pos_list)
+    del_pos_list = links.del_pos_list
+    del_keys = links.del_keys
+    n_del = len(del_pos_list)
+    cum_get = links.cum_get
+    cum_hit = links.cum_hit
+    cum_read_bytes = links.cum_read_bytes
+    cum_flash = plan.cum_flash
+    flush_list = plan.flush_list
+    n_flush = len(flush_list)
+    pages = plan.pages
+    prune_list = plan.prune_list
+    prune_pages = plan.prune_pages
+    n_prune = len(prune_list)
+
+    counters = engine.counters
+    stats = engine.stats
+    device = engine.device
+    insert_column = engine.insert_column
+    insert_many = engine.insert_many
+    delete = engine.delete
+    # Evictions need a flush with no empty zone left, and the k-th flush
+    # ever (0-indexed) only allocates a new zone at multiples of
+    # pages_per_zone — so on a virgin device the first flush that *can*
+    # recycle a zone (and break the sequential-page prediction) is flush
+    # number ``num_pages``.  Insert runs need no cut (and no eviction
+    # check) before it; on traces that never wrap the device, the walker
+    # degenerates to one run per chunk.
+    first_evicting_flush = engine.geometry.num_pages
+
+    def settle(a: int, b: int) -> None:
+        """Flush the deferred lookup-side counters for requests [a, b).
+
+        Exactly mirrors ``LogStructuredCache.lookup_many``'s deferred
+        accounting: lookups/hits, logical read bytes, and — for hits
+        served from flash rather than the page buffer — the NAND read
+        counter plus host/flash read bytes (one page per hit).  O(1)
+        via the cached padded prefix sums.
+        """
+        if b <= a:
+            return
+        n_get = int(cum_get[b] - cum_get[a])
+        n_hit = int(cum_hit[b] - cum_hit[a])
+        if record_latency and n_get:
+            # Latency-free device: every GET records 0.0, in order.
+            latency.record_many([0.0] * n_get)
+        counters.lookups += n_get
+        counters.hits += n_hit
+        if not n_hit:
+            return
+        stats.logical_read_bytes += int(cum_read_bytes[b] - cum_read_bytes[a])
+        flash_reads = int(cum_flash[b] - cum_flash[a])
+        if flash_reads:
+            device.nand.read_count += flash_reads
+            nbytes = page_size * flash_reads
+            stats.host_read_bytes += nbytes
+            stats.host_read_ops += flash_reads
+            stats.flash_read_bytes += nbytes
+
+    def sample_at(stop: int, now_us: float) -> None:
+        snap = engine.metrics_snapshot()
+        # Per-metric (not per-request) loop over the handful of sampled
+        # series names.
+        # reprolint: disable=R008
+        for metric in sampled_metrics:
+            series[metric].record(stop, snap.get(metric, float("nan")))
+        if write_rate is not None:
+            write_rate.update(now_us / 1e6, snap["host_write_bytes"])
+        if progress and stop % progress_every < sample_every:
+            print(
+                f"  [{engine.name}] {stop:,}/{n:,} "
+                f"wa={snap.get('wa', float('nan')):.2f} "
+                f"miss={snap.get('miss_ratio', float('nan')):.3f}"
+            )
+
+    # ------------------------------------------------------------------
+    # Mutation loop: apply events in request order, chunk by chunk
+    # ------------------------------------------------------------------
+    ii = 0  # next insert event
+    di = 0  # next delete event
+    fi = 0  # next flush (monotone pointer into flush_list)
+    pi = 0  # next prune event (monotone pointer into prune_list)
+    start = 0
+    # Chunk loop: one iteration per sample boundary, not per request.
+    # reprolint: disable=R008
+    for stop in boundaries:
+        if stop > start:
+            now_chunk = float(clock[start - 1]) if start else 0.0
+            # Event walker: one iteration per insert *run* (cut at
+            # deletes and — once the device can wrap — at each flush),
+            # not per request.
+            # reprolint: disable=R008
+            while True:
+                next_ins = ins_pos_list[ii] if ii < n_ins else n
+                next_del = del_pos_list[di] if di < n_del else n
+                if next_ins >= stop and next_del >= stop:
+                    break
+                if next_del < next_ins:
+                    delete(del_keys[di])
+                    di += 1
+                    continue
+                # Maximal insert run: up to the chunk end or the next
+                # delete, cut right after the first predicted flush that
+                # could evict, so evictions surface at the exact request
+                # they happen.  Flushes that still have an empty zone to
+                # write into stay inside the run as ``cuts``.
+                run_stop = min(stop, next_del)
+                jj = int(np.searchsorted(ins_pos, run_stop, side="left"))
+                check_evictions = False
+                if first_evicting_flush < n_flush:
+                    nf = fi if fi >= first_evicting_flush else first_evicting_flush
+                    if nf < n_flush and flush_list[nf] + 1 <= jj:
+                        jj = flush_list[nf] + 1
+                        check_evictions = True
+                f_lo = fi
+                # Monotone pointer advances: one step per flush/prune
+                # event across the whole trace, not per request.
+                # reprolint: disable=R008
+                while fi < n_flush and flush_list[fi] < jj:
+                    fi += 1
+                p_lo = pi
+                # reprolint: disable=R008
+                while pi < n_prune and prune_list[pi] < jj:
+                    pi += 1
+                if check_evictions or f_lo >= first_evicting_flush:
+                    # The device may recycle zones from here on: page
+                    # predictions are stale, so replay the run through
+                    # the exact per-event bulk path.
+                    insert_many(
+                        ins_keys[ii:jj], ins_sizes[ii:jj], now_chunk, 0.0
+                    )
+                else:
+                    # Placements beyond the run's last flush stay
+                    # buffered: exactly the last trigger event and
+                    # everything after it (a trigger's own insert lands
+                    # in the fresh buffer), so the cap is a slice +
+                    # fill, not a scan.
+                    if fi > f_lo:
+                        flushed_to = flush_list[fi - 1]
+                        run_pages = pages[ii:flushed_to]
+                        run_pages += [-1] * (jj - flushed_to)
+                    else:
+                        run_pages = [-1] * (jj - ii)
+                    insert_column(
+                        ins_keys[ii:jj],
+                        ins_sizes[ii:jj],
+                        [t - ii for t in flush_list[f_lo:fi]],
+                        [t - ii for t in prune_list[p_lo:pi]],
+                        prune_pages[p_lo:pi],
+                        run_pages,
+                        now_chunk,
+                    )
+                ii = jj
+                if check_evictions and counters.evicted_objects:
+                    # First live-object eviction: the hit classification
+                    # beyond this request is stale.  Settle the exact
+                    # prefix and hand the rest to the batched lane.
+                    bail = ins_pos_list[jj - 1] + 1
+                    settle(start, bail)
+                    return ColumnarOutcome(
+                        resume_pos=bail,
+                        now_us=float(clock[bail - 1]),
+                        completed=False,
+                    )
+            settle(start, stop)
+        now_us = float(clock[stop - 1]) if stop else 0.0
+        if stop == mark_window_at:
+            latency.mark_window()
+        if stop in sample_points:
+            sample_at(stop, now_us)
+        start = stop
+
+    return ColumnarOutcome(
+        resume_pos=n, now_us=float(clock[n - 1]) if n else 0.0, completed=True
+    )

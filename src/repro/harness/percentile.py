@@ -32,6 +32,48 @@ class LatencyRecorder:
     def record(self, value: float) -> None:
         self._values.append(value)
 
+    def record_many(self, values: list[float]) -> None:
+        """Append a run of samples in order (bulk-lane fast path).
+
+        Equivalent to calling :meth:`record` once per element; the
+        columnar kernel uses it to settle a whole chunk's latencies in
+        one C-level extend.
+        """
+        self._values.extend(values)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Absorb ``other``'s samples *window-wise*.
+
+        Sharded replays record each shard's latencies into a private
+        recorder; merging window ``w`` of every shard into window ``w``
+        of one recorder makes the merged per-window sample multisets
+        equal to a serial replay's (percentiles are order-free within a
+        window, so the merged percentiles are bit-for-bit identical —
+        property-tested against numpy on the concatenated samples).
+        Window counts may differ (a shard may not have reached the
+        mark); missing windows merge as empty.
+        """
+        mine = self._window_bounds + [len(self._values)]
+        theirs = other._window_bounds + [len(other._values)]
+        n_windows = max(len(mine), len(theirs)) - 1
+        merged: list[list[float]] = []
+        for w in range(n_windows):
+            chunk: list[float] = []
+            if w + 1 < len(mine):
+                chunk.extend(self._values[mine[w] : mine[w + 1]])
+            if w + 1 < len(theirs):
+                chunk.extend(other._values[theirs[w] : theirs[w + 1]])
+            merged.append(chunk)
+        values: list[float] = []
+        bounds = [0]
+        for chunk in merged[:-1] if merged else []:
+            values.extend(chunk)
+            bounds.append(len(values))
+        if merged:
+            values.extend(merged[-1])
+        self._values = values
+        self._window_bounds = bounds
+
     def __len__(self) -> int:
         return len(self._values)
 

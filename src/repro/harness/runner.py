@@ -11,11 +11,25 @@ Semantics (matching the paper's CacheLib harness):
 A simulated wall clock advances by ``1e6 / arrival_rate`` microseconds
 per request so the device latency model experiences realistic
 inter-arrival gaps; "flash writes per minute" uses this clock.
+
+Three replay lanes share these semantics and are byte-identical (the
+metric-parity goldens compare them):
+
+- ``kernel="batched"`` (default): the trace is pre-sliced into same-op
+  runs handed to the engines' bulk fast paths.
+- ``kernel="columnar"``: whole-trace numpy decision passes; the Log
+  engine replays through :mod:`repro.harness.columnar`, other engines
+  consume precomputed hash columns (``Trace.columns``) through their
+  bulk paths.
+- ``kernel="scalar"``: the :class:`CacheEngine` scalar-loop fallbacks —
+  the slowest lane, kept as the semantic reference.
 """
 
 from __future__ import annotations
 
+import os
 import time
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,6 +43,23 @@ from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace
 
 #: Percentiles the paper reports (Fig. 15): median, p99, p9999.
 LATENCY_PERCENTILES = [50.0, 99.0, 99.99]
+
+#: Valid ``replay(kernel=...)`` lanes.
+REPLAY_KERNELS = ("batched", "columnar", "scalar")
+
+#: Environment override for the default lane (parity tests sweep it).
+KERNEL_ENV_VAR = "REPRO_REPLAY_KERNEL"
+
+
+def resolve_kernel(kernel: str | None) -> str:
+    """Pick the replay lane: explicit argument, else env, else batched."""
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV_VAR) or "batched"
+    if kernel not in REPLAY_KERNELS:
+        raise ConfigError(
+            f"unknown replay kernel {kernel!r}; expected one of {REPLAY_KERNELS}"
+        )
+    return kernel
 
 
 @dataclass
@@ -47,6 +78,8 @@ class ReplayResult:
     #: Fault-injection outcome (None when no fault plan was supplied).
     fault_counters: dict[str, int] | None = None
     crashes: int = 0
+    #: Which replay lane produced this result (metrics are lane-invariant).
+    kernel: str = "batched"
 
     @property
     def wa(self) -> float:
@@ -77,6 +110,7 @@ def replay(
     trace: Trace,
     *,
     sample_every: int | None = None,
+    sample_at: Sequence[int] | None = None,
     arrival_rate: float = 50_000.0,
     record_latency: bool = False,
     write_rate_window_s: float | None = None,
@@ -84,6 +118,7 @@ def replay(
     sampled_metrics: tuple[str, ...] = ("wa", "miss_ratio", "host_write_bytes"),
     progress: bool = False,
     faults: FaultPlan | None = None,
+    kernel: str | None = None,
 ) -> ReplayResult:
     """Replay ``trace`` against ``engine`` and collect metrics.
 
@@ -95,6 +130,9 @@ def replay(
         The request stream.
     sample_every:
         Record ``sampled_metrics`` every N requests (None = 64 samples).
+    sample_at:
+        Explicit sample positions (overrides ``sample_every``); used by
+        the sharded lane to align per-shard samples with global ones.
     arrival_rate:
         Requests per simulated second (drives the latency clock).
     record_latency:
@@ -114,9 +152,17 @@ def replay(
         engine's device stack before replay.  Crash points in the plan
         become chunk boundaries where the engine crashes and recovers
         mid-replay.  An empty plan is byte-identical to ``faults=None``.
+    kernel:
+        Replay lane: ``"batched"`` (default), ``"columnar"``, or
+        ``"scalar"``.  ``None`` reads the ``REPRO_REPLAY_KERNEL``
+        environment variable.  All lanes produce byte-identical metrics;
+        the columnar lane falls back to batched dispatch wherever its
+        whole-trace kernel is not applicable (latency models, fault
+        plans, pre-warmed engines, device wrap-around).
     """
     if arrival_rate <= 0:
         raise ConfigError("arrival_rate must be positive")
+    kernel = resolve_kernel(kernel)
     n = len(trace)
     if sample_every is None:
         sample_every = max(1, n // 64)
@@ -137,9 +183,12 @@ def replay(
     # the scalar defaults in :class:`CacheEngine`.  Chunks are converted
     # to Python lists once — `int(keys[i])` per request boxes a fresh
     # numpy scalar, which dominated the seed loop's profile.
-    sample_points = set(range(sample_every, n + 1, sample_every))
-    if n:
-        sample_points.add(n)
+    if sample_at is not None:
+        sample_points = {int(b) for b in sample_at if 0 <= b <= n}
+    else:
+        sample_points = set(range(sample_every, n + 1, sample_every))
+        if n:
+            sample_points.add(n)
     boundaries = set(sample_points)
     if mark_window_at is not None and 1 <= mark_window_at <= n:
         boundaries.add(mark_window_at)
@@ -155,12 +204,16 @@ def replay(
     # boundaries in both paths.
     record = latency.record if record_latency else None
 
-    if faults is not None and faults.is_device_faulty:
+    force_scalar = kernel == "scalar" or (
+        faults is not None and faults.is_device_faulty
+    )
+    if force_scalar:
         # Device faults fire inside the NAND hooks; the engines' bulk
         # fast paths bypass those on purpose (deferred accounting), so
         # faulty replays funnel every request through the scalar-default
         # run loops instead.  With an empty plan the bulk paths stay on
-        # (they are byte-identical anyway).
+        # (they are byte-identical anyway).  kernel="scalar" forces the
+        # same reference loops unconditionally.
         lookup_many = CacheEngine.lookup_many.__get__(engine)
         insert_many = CacheEngine.insert_many.__get__(engine)
         delete_many = CacheEngine.delete_many.__get__(engine)
@@ -170,14 +223,62 @@ def replay(
         delete_many = engine.delete_many
     OP_GET_, OP_SET_, OP_DELETE_ = OP_GET, OP_SET, OP_DELETE  # local binds
     progress_every = max(1, n // 10)
+    boundary_list = sorted(boundaries)
 
     t0 = time.perf_counter()
     now_us = 0.0
     start = 0
-    for stop in sorted(boundaries):
+    result_kernel = kernel
+
+    if kernel == "columnar" and not force_scalar:
+        from repro.harness.columnar import log_kernel_eligible, replay_log_columnar
+
+        if log_kernel_eligible(engine, trace, faults):
+            outcome = replay_log_columnar(
+                engine,  # type: ignore[arg-type]
+                trace,
+                boundaries=boundary_list,
+                sample_points=sample_points,
+                mark_window_at=mark_window_at,
+                series=series,
+                sampled_metrics=sampled_metrics,
+                latency=latency,
+                record_latency=record_latency,
+                write_rate=write_rate,
+                step_us=step_us,
+                progress=progress,
+                progress_every=progress_every,
+                sample_every=sample_every,
+            )
+            now_us = outcome.now_us
+            start = outcome.resume_pos
+            if outcome.completed:
+                boundary_list = []
+            else:
+                # Bail-out (first eviction): the batched lane finishes
+                # the suffix, starting with the partial chunk up to the
+                # next (still unsampled) boundary.
+                boundary_list = [b for b in boundary_list if b >= start]
+
+    # Columnar hash columns for engines whose bulk paths accept
+    # precomputed placement offsets (Nemo, FW/KG, Set): one vectorised
+    # hash pass replaces the per-request splitmix chains.
+    offset_column = None
+    if kernel == "columnar" and not force_scalar:
+        spec = engine.columnar_spec()
+        if spec is not None:
+            seed, num_sets = spec
+            offset_column = trace.columns(seed, num_sets).set_ids
+
+    for stop in boundary_list:
         ops_arr = trace.ops[start:stop]
         keys = trace.keys[start:stop].tolist()
         sizes = trace.sizes[start:stop].tolist()
+        offsets = (
+            offset_column[start:stop].tolist()
+            if offset_column is not None
+            else None
+        )
         start = stop
         n_chunk = len(ops_arr)
         if n_chunk:
@@ -187,11 +288,25 @@ def replay(
             for a, b in zip(bounds, bounds[1:]):
                 op = ops_arr[a]
                 if op == OP_GET_:
-                    now_us = lookup_many(
-                        keys[a:b], sizes[a:b], now_us, step_us, record
-                    )
+                    if offsets is not None:
+                        now_us = lookup_many(
+                            keys[a:b], sizes[a:b], now_us, step_us, record,
+                            offsets=offsets[a:b],
+                        )
+                    else:
+                        now_us = lookup_many(
+                            keys[a:b], sizes[a:b], now_us, step_us, record
+                        )
                 elif op == OP_SET_:
-                    now_us = insert_many(keys[a:b], sizes[a:b], now_us, step_us)
+                    if offsets is not None:
+                        now_us = insert_many(
+                            keys[a:b], sizes[a:b], now_us, step_us,
+                            offsets=offsets[a:b],
+                        )
+                    else:
+                        now_us = insert_many(
+                            keys[a:b], sizes[a:b], now_us, step_us
+                        )
                 elif op == OP_DELETE_:
                     now_us = delete_many(keys[a:b], now_us, step_us)
                 else:  # unknown op: clock advances, nothing else
@@ -232,4 +347,5 @@ def replay(
             engine.stats.fault_snapshot() if faults is not None else None
         ),
         crashes=len(crash_points),
+        kernel=result_kernel,
     )

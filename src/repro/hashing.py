@@ -83,3 +83,16 @@ def splitmix64_array(keys: np.ndarray, seed: int = 0) -> np.ndarray:
         z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
         z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
         return z ^ (z >> np.uint64(31))
+
+
+def hash_pair_array(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorised :func:`hash_pair`: two uint64 hash arrays over ``keys``.
+
+    Element-wise equal to ``hash_pair(int(k))`` — the array kernels in
+    ``core/bloom.py`` derive the same Kirsch–Mitzenmacher probe
+    sequences as the scalar loops.
+    """
+    return (
+        splitmix64_array(keys, 0x9E37),
+        splitmix64_array(keys, 0x85EB),
+    )

@@ -1,4 +1,4 @@
-"""reprolint rules R001–R007.
+"""reprolint rules R001–R008.
 
 Each rule guards one clause of the simulator's byte-identity /
 determinism contract (DESIGN.md §6).  Rules are AST-based and
@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import abc
 import ast
+import re
 from collections.abc import Iterator
 
 from repro.lint.engine import FileContext, Violation
@@ -720,6 +721,47 @@ class FaultRandomnessRule(Rule):
             yield from self._visit(ctx, child, aliases, child_in_plan)
 
 
+class ColumnarKernelLoopRule(Rule):
+    """R008: no per-request Python loops in columnar-kernel zones.
+
+    A module that opts in with a ``# reprolint: columnar-kernel-zone``
+    marker promises to process whole traces as numpy array programs —
+    vectorised decision passes feeding compact state-mutation loops.  A
+    ``for``/``while`` *statement* there is almost always a per-request
+    loop sneaking back into the hot path, quietly costing the orders of
+    magnitude the lane exists for.  The audited compact mutation loops
+    carry an inline ``# reprolint: disable=R008``.  Comprehensions and
+    generator expressions are exempt: they build small plan structures
+    (per-flush, per-window), not per-request traversals.
+    """
+
+    code = "R008"
+    name = "loop-in-columnar-kernel-zone"
+    zones = None  # opt-in by marker, not by directory
+
+    #: The marker is a module-level declaration: a comment-only line in
+    #: the module header.  Mentions elsewhere (docstrings, fixture
+    #: snippets embedded in test files) do not opt a file in.
+    MARKER_RE = re.compile(r"^\s*#\s*reprolint:\s*columnar-kernel-zone\s*$")
+    MARKER_SCAN_LINES = 10
+
+    def applies(self, ctx: FileContext) -> bool:
+        head = ctx.source.splitlines()[: self.MARKER_SCAN_LINES]
+        return any(self.MARKER_RE.match(line) for line in head)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+                kind = "while" if isinstance(node, ast.While) else "for"
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`{kind}` statement in a columnar-kernel-zone module "
+                    "— express it as a numpy array pass, or audit the "
+                    "compact mutation loop with `# reprolint: disable=R008`",
+                )
+
+
 #: Registration order == reporting order for same-line findings.
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
@@ -729,6 +771,7 @@ ALL_RULES: tuple[Rule, ...] = (
     FloatIntoIntCounterRule(),
     BroadExceptRule(),
     FaultRandomnessRule(),
+    ColumnarKernelLoopRule(),
 )
 
 

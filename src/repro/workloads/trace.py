@@ -17,12 +17,36 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import TraceError
+from repro.hashing import splitmix64_array
 
 OP_GET = 0
 OP_SET = 1
 OP_DELETE = 2
 
 _OP_NAMES = {OP_GET: "get", OP_SET: "set", OP_DELETE: "delete"}
+
+
+@dataclass(frozen=True)
+class TraceColumns:
+    """Whole-trace hash columns for one (seed, placement) combination.
+
+    The columnar replay lane hashes every key exactly once up front;
+    engines then consume these parallel arrays instead of re-running the
+    splitmix chain per request.  Element ``i`` describes request ``i``:
+
+    - ``hashes``: ``uint64`` seeded splitmix64 of the key (``hash64``).
+    - ``set_ids``: ``hashes % num_sets`` — the engine's placement unit
+      (Nemo's intra-SG set offset, Set's set id, FW/KG's log bucket).
+    - ``sg_ids``: ``set_ids // sets_per_sg`` when a set-group size is
+      given (``None`` otherwise) — the dependency-safe partition unit
+      used by intra-trace sharding.
+    """
+
+    seed: int
+    num_sets: int
+    hashes: np.ndarray
+    set_ids: np.ndarray
+    sg_ids: np.ndarray | None = None
 
 
 @dataclass
@@ -56,6 +80,12 @@ class Trace:
         self.ops = np.asarray(self.ops, dtype=np.uint8)
         self.keys = np.asarray(self.keys, dtype=np.int64)
         self.sizes = np.asarray(self.sizes, dtype=np.int64)
+        self._column_cache: dict[tuple, TraceColumns] = {}
+        # Scratch cache for replay kernels (harness/columnar.py): holds
+        # decision columns that are pure functions of this trace, keyed
+        # by the kernel's own (name, params) tuples.  Sliced/repeated
+        # traces are new objects and start with a fresh cache.
+        self._kernel_cache: dict[object, object] = {}
         if not (len(self.ops) == len(self.keys) == len(self.sizes)):
             raise TraceError(
                 "ops/keys/sizes arrays must have equal length "
@@ -68,6 +98,43 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.ops)
+
+    # ------------------------------------------------------------------
+    # Columnar hash columns (computed once per placement, cached)
+    # ------------------------------------------------------------------
+    def columns(
+        self, seed: int, num_sets: int, sets_per_sg: int | None = None
+    ) -> TraceColumns:
+        """Hash every key once into parallel placement columns.
+
+        Cached per ``(seed, num_sets, sets_per_sg)``: replaying the same
+        trace against several engines (or several shards) re-uses the
+        vectorised hash pass.  ``set_ids[i] == hash64(keys[i], seed) %
+        num_sets`` exactly, so engines consuming the column are
+        byte-identical to their inlined per-request splitmix chains.
+        """
+        if num_sets <= 0:
+            raise TraceError("num_sets must be positive")
+        cache_key = (seed, num_sets, sets_per_sg)
+        cached = self._column_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        hashes = splitmix64_array(self.keys, seed)
+        set_ids = (hashes % np.uint64(num_sets)).astype(np.int64)
+        sg_ids = None
+        if sets_per_sg is not None:
+            if sets_per_sg <= 0:
+                raise TraceError("sets_per_sg must be positive")
+            sg_ids = set_ids // sets_per_sg
+        cols = TraceColumns(
+            seed=seed,
+            num_sets=num_sets,
+            hashes=hashes,
+            set_ids=set_ids,
+            sg_ids=sg_ids,
+        )
+        self._column_cache[cache_key] = cols
+        return cols
 
     # ------------------------------------------------------------------
     def slice(self, start: int, stop: int) -> "Trace":

@@ -1,15 +1,21 @@
 """Property tests: bulk fast paths match their scalar references exactly.
 
-The vectorized request pipeline leans on two bulk primitives whose
-results must be bit-for-bit identical to the scalar paths they replace:
+The vectorized request pipeline and the columnar replay lane lean on
+bulk primitives whose results must be bit-for-bit identical to the
+scalar paths they replace:
 
 - :meth:`BloomFilter.add_many` / :meth:`BloomFilter.contains_many`
   versus per-key ``add`` / ``__contains__``;
+- the array kernels (:meth:`BloomFilter.add_array` /
+  :meth:`BloomFilter.contains_array`, :meth:`HotnessTracker.\
+record_access_array` / :meth:`HotnessTracker.is_hot_array`,
+  :meth:`IndexCache.access_many`, :meth:`SetGroupQueue.find_many`)
+  versus their scalar loops;
 - :meth:`ZipfGenerator.sample` drawing one batch versus the same seeded
   generator drawing the stream in arbitrary smaller pieces.
 
-Hypothesis drives both over adversarial key sets, filter geometries and
-batch splits.
+Hypothesis drives all of them over adversarial key sets, structure
+geometries and batch splits.
 """
 
 from __future__ import annotations
@@ -19,6 +25,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.bloom import BloomFilter
+from repro.core.hotness import HotnessTracker
+from repro.core.index_cache import IndexCache
+from repro.core.sgqueue import SetGroupQueue
 from repro.workloads.zipf import ZipfGenerator
 
 _keys = st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=60)
@@ -55,6 +64,158 @@ class TestBloomBulkEquivalence:
         # Query a mix of members and non-members.
         queries = added + queried
         assert bf.contains_many(queries) == [key in bf for key in queries]
+
+
+class TestBloomArrayKernelEquivalence:
+    @given(
+        keys=_keys,
+        num_bits=st.integers(min_value=8, max_value=1024),
+        num_hashes=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_add_array_matches_scalar_add(self, keys, num_bits, num_hashes):
+        scalar = BloomFilter(num_bits, num_hashes)
+        bulk = BloomFilter(num_bits, num_hashes)
+        for key in keys:
+            scalar.add(key)
+        bulk.add_array(np.asarray(keys, dtype=np.uint64))
+        assert bulk._bits == scalar._bits
+        assert bulk.count == scalar.count
+
+    @given(
+        added=_keys,
+        queried=_keys,
+        num_bits=st.integers(min_value=8, max_value=1024),
+        num_hashes=st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_contains_array_matches_scalar_contains(
+        self, added, queried, num_bits, num_hashes
+    ):
+        bf = BloomFilter(num_bits, num_hashes)
+        bf.add_array(np.asarray(added, dtype=np.uint64))
+        queries = added + queried
+        verdicts = bf.contains_array(np.asarray(queries, dtype=np.uint64))
+        assert verdicts.tolist() == [key in bf for key in queries]
+
+    def test_non_byte_aligned_num_bits(self):
+        """Exactness when num_bits is not a multiple of 8 (packbits pad)."""
+        keys = list(range(200))
+        scalar = BloomFilter(577, 5)
+        bulk = BloomFilter(577, 5)
+        for key in keys:
+            scalar.add(key)
+        bulk.add_array(np.asarray(keys, dtype=np.uint64))
+        assert bulk._bits == scalar._bits
+        queries = np.arange(400, dtype=np.uint64)
+        assert bulk.contains_array(queries).tolist() == [
+            int(k) in scalar for k in queries
+        ]
+
+
+class TestHotnessArrayKernelEquivalence:
+    @staticmethod
+    def _make_pair(num_offsets, cached_pages):
+        def page_of(offset):
+            return offset // 4
+
+        def page_cached(page_idx):
+            return page_idx in cached_pages
+
+        return (
+            HotnessTracker(
+                0.3,
+                page_idx_cached=page_cached,
+                page_of_offset=page_of,
+                num_offsets=num_offsets,
+            ),
+            HotnessTracker(
+                0.3, page_idx_cached=page_cached, page_of_offset=page_of
+            ),
+        )
+
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.integers(0, 30),  # key
+                st.integers(0, 63),  # offset
+                st.booleans(),  # in_window
+            ),
+            max_size=60,
+        ),
+        cached_pages=st.sets(st.integers(0, 16), max_size=8),
+        queried=st.lists(st.integers(0, 40), max_size=40),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_array_kernels_match_scalar(self, events, cached_pages, queried):
+        # Both constructor variants (flat offset->page table and the
+        # callable fallback) must agree with the scalar loop.
+        for tracker in self._make_pair(64, cached_pages):
+            scalar = HotnessTracker(
+                0.3,
+                page_idx_cached=lambda p: p in cached_pages,
+                page_of_offset=lambda o: o // 4,
+            )
+            for key, offset, in_window in events:
+                scalar.record_access(key, offset, in_window=in_window)
+            tracker.record_access_array(
+                np.asarray([e[0] for e in events], dtype=np.int64),
+                np.asarray([e[1] for e in events], dtype=np.int64),
+                np.asarray([e[2] for e in events], dtype=bool),
+            )
+            assert tracker._bits == scalar._bits
+            keys = np.asarray(queried, dtype=np.int64)
+            assert tracker.is_hot_array(keys).tolist() == [
+                scalar.is_hot(k) for k in queried
+            ]
+
+
+class TestIndexCacheBulkEquivalence:
+    @given(
+        batches=st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 5), st.integers(0, 3)), max_size=12
+            ),
+            max_size=8,
+        ),
+        capacity=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_access_many_matches_scalar_access(self, batches, capacity):
+        bulk = IndexCache(capacity, num_page_indices=4)
+        scalar = IndexCache(capacity, num_page_indices=4)
+        for batch in batches:
+            got = bulk.access_many(batch)
+            want = [scalar.access(p) for p in batch]
+            assert got == want
+            assert list(bulk._fifo) == list(scalar._fifo)
+            assert (bulk.hits, bulk.misses) == (scalar.hits, scalar.misses)
+
+
+class TestSGQueueBulkEquivalence:
+    @given(
+        inserts=st.lists(
+            st.tuples(
+                st.integers(0, 3),  # offset
+                st.integers(0, 20),  # key
+                st.integers(1, 120),  # size
+            ),
+            max_size=40,
+        ),
+        probes=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 25)), max_size=30
+        ),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_find_many_matches_scalar_find(self, inserts, probes):
+        queue = SetGroupQueue(depth=3, sets_per_sg=4, set_size=256)
+        for offset, key, size in inserts:
+            queue.try_insert(offset, key, size)
+        offsets = [p[0] for p in probes]
+        keys = [p[1] for p in probes]
+        assert queue.find_many(offsets, keys) == [
+            queue.find(o, k) for o, k in zip(offsets, keys)
+        ]
 
 
 class TestZipfBulkEquivalence:

@@ -7,6 +7,11 @@ batched GC relocation path — plus both FW variants) and every fig14
 cell is compared against ``golden_metrics_micro.json``, recorded from
 the pre-optimisation code, with exact float equality.
 
+The replay *kernel* sweep replays the fig12/fig14/fig15 micro cells on
+the columnar and scalar lanes (via the ``REPRO_REPLAY_KERNEL``
+override) against the **same** golden file — all three lanes must be
+byte-identical, not merely self-consistent.
+
 Regenerate the golden file (only after an *intentional* metric change)::
 
     PYTHONPATH=src python tests/experiments/test_metric_parity.py --regen
@@ -16,41 +21,65 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from pathlib import Path
 
 import pytest
 
 GOLDEN_PATH = Path(__file__).parent / "golden_metrics_micro.json"
 
+_ALL_FIGS = ("fig12", "fig14", "fig15", "fig16")
 
-def _compute_cells() -> dict:
+#: Figures the kernel sweep replays on every lane (fig16 rides on the
+#: same datapath as fig12's sampled series; the sweep trades it for
+#: suite wall-clock).
+_SWEEP_FIGS = ("fig12", "fig14", "fig15")
+
+
+def _compute_cells(figs: tuple[str, ...] = _ALL_FIGS) -> dict:
     from repro.experiments import fig12_wa_main as f12
     from repro.experiments import fig14_wa_trend as f14
     from repro.experiments import fig15_read_latency as f15
     from repro.experiments import fig16_miss_ratio as f16
 
-    fig12 = [
-        f12._main_cell("micro", i) for i in range(len(f12.PAPER_WA))
-    ]
-    fig12 += [
-        f12._variant_cell("micro", label, kw["log_fraction"], kw["op_ratio"])
-        for label, kw in f12.VARIANTS
-    ]
-    fig14 = [
-        f14._system_cell("micro", name, log_fraction, op_ratio)
-        for name, log_fraction, op_ratio in f14.SYSTEMS
-    ]
+    out: dict = {}
+    if "fig12" in figs:
+        fig12 = [
+            f12._main_cell("micro", i) for i in range(len(f12.PAPER_WA))
+        ]
+        fig12 += [
+            f12._variant_cell("micro", label, kw["log_fraction"], kw["op_ratio"])
+            for label, kw in f12.VARIANTS
+        ]
+        out["fig12"] = fig12
+    if "fig14" in figs:
+        out["fig14"] = [
+            f14._system_cell("micro", name, log_fraction, op_ratio)
+            for name, log_fraction, op_ratio in f14.SYSTEMS
+        ]
     # fig15 exercises the latency-model datapath (record_latency +
     # window percentiles); fig16 the sampled-series datapath.
-    fig15 = [f15._system_cell("micro", name) for name in f15.SYSTEMS]
-    fig16 = [f16._system_cell("micro", name) for name in f16.SYSTEMS]
+    if "fig15" in figs:
+        out["fig15"] = [f15._system_cell("micro", name) for name in f15.SYSTEMS]
+    if "fig16" in figs:
+        out["fig16"] = [f16._system_cell("micro", name) for name in f16.SYSTEMS]
     # Round-trip through JSON so tuples/lists and int/float widths
     # compare on equal footing with the stored golden file.
-    return json.loads(
-        json.dumps(
-            {"fig12": fig12, "fig14": fig14, "fig15": fig15, "fig16": fig16}
-        )
-    )
+    return json.loads(json.dumps(out))
+
+
+def _compute_cells_with_kernel(kernel: str, figs: tuple[str, ...]) -> dict:
+    from repro.harness.runner import KERNEL_ENV_VAR
+
+    prior = os.environ.get(KERNEL_ENV_VAR)
+    os.environ[KERNEL_ENV_VAR] = kernel
+    try:
+        return _compute_cells(figs)
+    finally:
+        if prior is None:
+            del os.environ[KERNEL_ENV_VAR]
+        else:
+            os.environ[KERNEL_ENV_VAR] = prior
 
 
 def _assert_identical(new, golden, path=""):
@@ -99,6 +128,27 @@ class TestMetricParity:
 
     def test_fig16_cells_byte_identical(self, cells, golden):
         _assert_identical(cells["fig16"], golden["fig16"], "fig16")
+
+
+@pytest.fixture(scope="module", params=["columnar", "scalar"])
+def kernel_cells(request):
+    return request.param, _compute_cells_with_kernel(
+        request.param, _SWEEP_FIGS
+    )
+
+
+class TestKernelSweep:
+    """Columnar and scalar lanes reproduce the batched-lane goldens.
+
+    The golden file was recorded on the batched lane, so passing here
+    proves three-way byte identity on every fig12/fig14/fig15 micro
+    cell — not just that each lane is internally stable.
+    """
+
+    @pytest.mark.parametrize("fig", _SWEEP_FIGS)
+    def test_lane_matches_golden(self, kernel_cells, golden, fig):
+        kernel, cells = kernel_cells
+        _assert_identical(cells[fig], golden[fig], f"{kernel}:{fig}")
 
 
 def main() -> None:

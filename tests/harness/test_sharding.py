@@ -1,0 +1,201 @@
+"""Byte-identity tests for deterministic intra-trace sharding.
+
+``replay_sharded`` splits one trace's sample boundaries across worker
+processes and merges the per-shard snapshot components exactly; every
+observable must match the serial lanes bit-for-bit for any shard/job
+combination.  Workers recompute the vectorised decision pass, so tests
+run with ``jobs=1`` (in-process) — the merge arithmetic, not the pool,
+is what needs proving; the pool path itself is covered by the CLI test
+and the sharded benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.baselines.log_structured import LogStructuredCache
+from repro.baselines.set_associative import SetAssociativeCache
+from repro.harness.parallel import replay_sharded, sharding_eligible
+from repro.harness.runner import replay
+from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace
+
+
+def _assert_finals_identical(fa, fb):
+    assert fa.keys() == fb.keys()
+    for key in fa:
+        va, vb = fa[key], fb[key]
+        assert va == vb or (
+            isinstance(va, float)
+            and isinstance(vb, float)
+            and math.isnan(va)
+            and math.isnan(vb)
+        ), f"{key}: {va!r} != {vb!r}"
+
+
+def _assert_results_identical(a, b):
+    _assert_finals_identical(a.final, b.final)
+    assert a.series.keys() == b.series.keys()
+    for name in a.series:
+        rows_a = a.series[name].as_rows()
+        rows_b = b.series[name].as_rows()
+        assert len(rows_a) == len(rows_b)
+        for (xa, va), (xb, vb) in zip(rows_a, rows_b):
+            assert xa == xb
+            assert va == vb or (math.isnan(va) and math.isnan(vb))
+    assert a.latency._values == b.latency._values
+    assert a.latency._window_bounds == b.latency._window_bounds
+    if a.write_rate is None:
+        assert b.write_rate is None
+    else:
+        assert a.write_rate.rates == b.write_rate.rates
+    assert a.sim_seconds == b.sim_seconds
+    assert a.num_requests == b.num_requests
+
+
+def _trace(n=5000, num_keys=400, seed=11):
+    rng = np.random.default_rng(seed)
+    ops = rng.choice(
+        np.array([OP_GET, OP_SET, OP_DELETE], dtype=np.uint8),
+        size=n,
+        p=[0.8, 0.15, 0.05],
+    )
+    return Trace(
+        ops=ops,
+        keys=rng.integers(0, num_keys, size=n),
+        sizes=rng.integers(40, 400, size=n),
+        name="shard-mix",
+    )
+
+
+class TestShardedParity:
+    def test_matches_serial_batched(self, small_geometry):
+        trace = _trace()
+        serial = replay(LogStructuredCache(small_geometry), trace)
+        for shards in (2, 3, 5):
+            sharded = replay_sharded(
+                LogStructuredCache(small_geometry),
+                trace,
+                shards=shards,
+                jobs=1,
+            )
+            assert sharded.kernel == "columnar"
+            _assert_results_identical(sharded, serial)
+
+    def test_instrumented_matches_serial(self, small_geometry):
+        trace = _trace()
+        kwargs = dict(
+            sample_every=613,
+            record_latency=True,
+            mark_window_at=len(trace) // 3,
+            write_rate_window_s=0.01,
+        )
+        serial = replay(LogStructuredCache(small_geometry), trace, **kwargs)
+        sharded = replay_sharded(
+            LogStructuredCache(small_geometry),
+            trace,
+            shards=3,
+            jobs=1,
+            **kwargs,
+        )
+        _assert_results_identical(sharded, serial)
+
+    def test_mark_exactly_on_shard_boundary(self, small_geometry):
+        """The window mark landing on a shard's end boundary belongs to
+        that shard (mark <= hi), not the next one."""
+        trace = _trace()
+        n = len(trace)
+        # With sample_every = n // 4 and shards=2, the mark at n // 2
+        # is the first shard's last boundary.
+        kwargs = dict(
+            sample_every=n // 4,
+            record_latency=True,
+            mark_window_at=n // 2,
+        )
+        serial = replay(LogStructuredCache(small_geometry), trace, **kwargs)
+        sharded = replay_sharded(
+            LogStructuredCache(small_geometry), trace, shards=2, jobs=1, **kwargs
+        )
+        _assert_results_identical(sharded, serial)
+
+    def test_explicit_sample_points(self, small_geometry):
+        trace = _trace()
+        kwargs = dict(sample_at=[100, 1234, 4999, len(trace)])
+        serial = replay(LogStructuredCache(small_geometry), trace, **kwargs)
+        sharded = replay_sharded(
+            LogStructuredCache(small_geometry), trace, shards=4, jobs=1, **kwargs
+        )
+        _assert_results_identical(sharded, serial)
+
+    def test_more_shards_than_boundaries(self, small_geometry):
+        trace = _trace()
+        kwargs = dict(sample_at=[len(trace)])
+        serial = replay(LogStructuredCache(small_geometry), trace, **kwargs)
+        sharded = replay_sharded(
+            LogStructuredCache(small_geometry), trace, shards=8, jobs=1, **kwargs
+        )
+        _assert_results_identical(sharded, serial)
+
+    def test_engine_not_mutated_on_fast_path(self, small_geometry):
+        engine = LogStructuredCache(small_geometry)
+        replay_sharded(engine, trace := _trace(), shards=2, jobs=1)
+        assert engine.counters.lookups == 0
+        assert engine.counters.inserts == 0
+        assert engine.object_count() == 0
+        # ... and the untouched engine replays serially to the same
+        # numbers the sharded run reported.
+        sharded = replay_sharded(
+            LogStructuredCache(small_geometry), trace, shards=2, jobs=1
+        )
+        serial = replay(engine, trace)
+        _assert_results_identical(sharded, serial)
+
+
+class TestShardedFallbacks:
+    def test_single_shard_runs_serial(self, small_geometry):
+        trace = _trace()
+        serial = replay(LogStructuredCache(small_geometry), trace)
+        result = replay_sharded(
+            LogStructuredCache(small_geometry), trace, shards=1
+        )
+        _assert_results_identical(result, serial)
+
+    def test_non_columnar_kernel_falls_back(self, small_geometry):
+        trace = _trace()
+        serial = replay(LogStructuredCache(small_geometry), trace)
+        result = replay_sharded(
+            LogStructuredCache(small_geometry),
+            trace,
+            shards=2,
+            kernel="batched",
+        )
+        assert result.kernel == "batched"
+        _assert_results_identical(result, serial)
+
+    def test_ineligible_engine_falls_back(self, small_geometry):
+        trace = _trace()
+        assert not sharding_eligible(
+            SetAssociativeCache(small_geometry), trace
+        )
+        serial = replay(SetAssociativeCache(small_geometry), trace)
+        result = replay_sharded(
+            SetAssociativeCache(small_geometry), trace, shards=2
+        )
+        _assert_results_identical(result, serial)
+
+    def test_wrapping_trace_falls_back(self, tiny_geometry):
+        """A trace whose flushes exceed the device page count is not
+        shardable (a wrap breaks the analytic model); it replays
+        serially — columnar prefix with bail — instead."""
+        trace = _trace(n=12_000, num_keys=2_000, seed=3)
+        assert not sharding_eligible(LogStructuredCache(tiny_geometry), trace)
+        serial = replay(LogStructuredCache(tiny_geometry), trace)
+        result = replay_sharded(
+            LogStructuredCache(tiny_geometry), trace, shards=2
+        )
+        assert serial.final["evicted_objects"] > 0
+        _assert_results_identical(result, serial)
+
+    def test_eligible_log_engine(self, small_geometry):
+        assert sharding_eligible(LogStructuredCache(small_geometry), _trace())

@@ -55,7 +55,9 @@ class TestMain:
     def test_list_rules_names_all_codes(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("R001", "R002", "R003", "R004", "R005", "R006", "R007"):
+        for code in (
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007", "R008",
+        ):
             assert code in out
 
     def test_explicit_paths_restrict_the_scan(self, tmp_path):

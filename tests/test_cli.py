@@ -67,6 +67,35 @@ class TestEndToEnd:
         assert "trace" in out
 
 
+class TestReplaySubcommand:
+    def test_columnar_kernel_lane(self, capsys):
+        rc = main(
+            ["replay", "--engine", "log", "--kernel", "columnar",
+             "--requests", "5000", "--zones", "4", "--wss-scale", "0.0001"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "columnar" in out and "Log" in out
+
+    def test_sharded_replay_matches_serial(self, capsys):
+        common = ["replay", "--engine", "log", "--kernel", "columnar",
+                  "--requests", "8000", "--zones", "8",
+                  "--wss-scale", "0.0002"]
+        assert main(common) == 0
+        serial = capsys.readouterr().out
+        assert main(common + ["--shards", "2", "--jobs", "1"]) == 0
+        sharded = capsys.readouterr().out
+        # Identical metric columns; only the wall-time column may differ.
+        strip = lambda s: [  # noqa: E731
+            line.rsplit(None, 2)[0] for line in s.splitlines() if line
+        ]
+        assert strip(serial) == strip(sharded)
+
+    def test_kernel_choices(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "--kernel", "bogus"])
+
+
 class TestFaultsSubcommand:
     def test_fault_sweep_reports_counters(self, capsys):
         rc = main(

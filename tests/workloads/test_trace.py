@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import TraceError
+from repro.hashing import hash64
 from repro.workloads.trace import OP_GET, OP_SET, Trace
 
 
@@ -68,6 +69,49 @@ class TestStatistics:
 
     def test_describe_has_counts(self):
         assert "10" in make_trace(10).describe()
+
+
+class TestColumns:
+    def test_set_ids_match_scalar_hash(self):
+        keys = np.array([0, 1, 7, 2**40, 12345], dtype=np.int64)
+        t = Trace(
+            ops=np.zeros(5, dtype=np.uint8),
+            keys=keys,
+            sizes=np.full(5, 100),
+        )
+        cols = t.columns(seed=3, num_sets=37)
+        assert cols.set_ids.tolist() == [
+            hash64(int(k), 3) % 37 for k in keys
+        ]
+        assert cols.hashes.tolist() == [hash64(int(k), 3) for k in keys]
+        assert cols.sg_ids is None
+
+    def test_sg_ids_partition_sets(self):
+        t = make_trace(20)
+        cols = t.columns(seed=0, num_sets=16, sets_per_sg=4)
+        assert cols.sg_ids.tolist() == (cols.set_ids // 4).tolist()
+
+    def test_columns_cached_per_spec(self):
+        t = make_trace(10)
+        a = t.columns(seed=1, num_sets=8)
+        assert t.columns(seed=1, num_sets=8) is a
+        assert t.columns(seed=2, num_sets=8) is not a
+        assert t.columns(seed=1, num_sets=9) is not a
+
+    def test_invalid_specs_rejected(self):
+        t = make_trace(4)
+        with pytest.raises(TraceError):
+            t.columns(seed=0, num_sets=0)
+        with pytest.raises(TraceError):
+            t.columns(seed=0, num_sets=8, sets_per_sg=0)
+
+    def test_views_start_with_fresh_kernel_cache(self):
+        t = make_trace(10)
+        t._kernel_cache["probe"] = object()
+        t.columns(seed=0, num_sets=8)
+        s = t.slice(0, 5)
+        assert s._kernel_cache == {}
+        assert s._column_cache == {}
 
 
 class TestViews:
