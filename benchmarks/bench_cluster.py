@@ -1,0 +1,106 @@
+"""Sharded-cluster replay benchmarks (DESIGN.md §8).
+
+Three cells replay the same moderate-skew multi-tenant mix on a
+``CacheCluster`` of log engines over the columnar kernel:
+
+- ``1shard`` — the scaling reference: one shard owns the whole trace;
+- ``8shard`` — the same trace routed across 8 shards.  Its
+  ``capacity_requests_per_sec`` (total requests over the *slowest
+  shard's* in-replay wall — the cluster's throughput with one core per
+  shard, independent of the measuring box's core count) must be at
+  least ``SCALING_FLOOR`` times the 1-shard cell's, gated by
+  ``benchmarks/check_regression.py`` via ``scaling_reference`` /
+  ``scaling_floor``;
+- ``metered`` — 8 shards with the tenant meter and a quota active, so
+  the accounting layer's overhead has a tracked trajectory too.
+
+The mix keeps per-tenant skew moderate (alpha <= 1.05): a very hot
+rank-1 key pins its shard and flattens the scaling curve, which is a
+workload property, not a lane regression — the crossover experiment
+covers high skew.
+
+``benchmarks/save_baseline.py --only cluster`` records these as
+``BENCH_cluster.json``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import CacheCluster, ClusterConfig
+from repro.workloads.multitenant import TenantSpec, multi_tenant_trace
+
+NUM_REQUESTS = 160_000
+
+#: 8-shard capacity must be at least this multiple of 1-shard capacity.
+SCALING_FLOOR = 3.0
+
+_TRACE = None
+
+
+def bench_trace():
+    global _TRACE
+    if _TRACE is None:
+        specs = [
+            TenantSpec(name="t1", zipf_alpha=0.85, num_keys=20_000),
+            TenantSpec(name="t2", zipf_alpha=0.95, num_keys=20_000),
+            TenantSpec(name="t3", zipf_alpha=1.05, num_keys=20_000),
+        ]
+        _TRACE = multi_tenant_trace(specs, num_requests=NUM_REQUESTS, seed=0)
+    return _TRACE
+
+
+def _cluster(num_shards: int, **config_kwargs) -> CacheCluster:
+    return CacheCluster(
+        ClusterConfig(
+            num_shards=num_shards,
+            engine="log",
+            zones_per_shard=8,
+            **config_kwargs,
+        )
+    )
+
+
+def _replay(num_shards: int):
+    """One timed cluster replay: serial workers (the capacity metric is
+    built from in-replay shard walls, so worker processes would only add
+    spawn noise on a small runner), meter off, columnar lane."""
+    return _cluster(num_shards).replay(
+        bench_trace(), jobs=1, meter=False, kernel="columnar"
+    )
+
+
+def _bench(benchmark, fn):
+    return benchmark.pedantic(fn, rounds=3, iterations=1, warmup_rounds=1)
+
+
+def _record(benchmark, result):
+    benchmark.extra_info["num_requests"] = result.num_requests
+    benchmark.extra_info["num_shards"] = result.num_shards
+    benchmark.extra_info["wa"] = result.wa
+    benchmark.extra_info["miss_ratio"] = result.miss_ratio
+    benchmark.extra_info["capacity_requests_per_sec"] = (
+        result.capacity_requests_per_sec
+    )
+
+
+def test_cluster_replay_1shard(benchmark):
+    result = _bench(benchmark, lambda: _replay(1))
+    _record(benchmark, result)
+
+
+def test_cluster_replay_8shard(benchmark):
+    result = _bench(benchmark, lambda: _replay(8))
+    _record(benchmark, result)
+    benchmark.extra_info["scaling_reference"] = "test_cluster_replay_1shard"
+    benchmark.extra_info["scaling_floor"] = SCALING_FLOOR
+
+
+def test_cluster_replay_metered(benchmark):
+    quotas = {1: 4 << 20, 2: 4 << 20, 3: 4 << 20}
+    result = _bench(
+        benchmark,
+        lambda: _cluster(8, quotas=quotas).replay(
+            bench_trace(), jobs=1, kernel="columnar"
+        ),
+    )
+    _record(benchmark, result)
+    assert result.tenants, "metered replay must report tenant rollups"

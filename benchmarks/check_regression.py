@@ -1,9 +1,12 @@
 """Benchmark regression gate: fresh run vs the committed baselines.
 
 Re-runs a benchmark suite and compares each cell's throughput against
-the numbers committed in ``BENCH_engines.json`` / ``BENCH_replay.json``.
-Exits nonzero when any cell regresses by more than ``--max-regression``
-(default 25 %), so CI catches datapath slowdowns before they land.
+the numbers committed in ``BENCH_engines.json`` / ``BENCH_replay.json``
+/ ``BENCH_cluster.json``.  Exits nonzero when any cell regresses by
+more than ``--max-regression`` (default 25 %), when a cell drops below
+its hard ``floor_requests_per_sec``, or when a cluster cell's capacity
+falls below its declared shard-scaling floor, so CI catches datapath
+slowdowns before they land.
 
 The committed files are **not** rewritten — use
 ``benchmarks/save_baseline.py`` to refresh them after an intentional
@@ -33,6 +36,7 @@ from save_baseline import REPO_ROOT, run_suite, summarise  # noqa: E402
 SUITES = {
     "engines": ("bench_engines.py", "BENCH_engines.json"),
     "replay": ("bench_replay.py", "BENCH_replay.json"),
+    "cluster": ("bench_cluster.py", "BENCH_cluster.json"),
 }
 
 
@@ -72,6 +76,52 @@ def compare(
             failures.append(
                 f"{name}: {cur_rps:,.0f} req/s is below the hard floor "
                 f"of {floor:,.0f} req/s"
+            )
+    failures.extend(check_scaling(fresh, baseline))
+    return failures
+
+
+def check_scaling(
+    fresh: dict[str, dict], baseline: dict[str, dict]
+) -> list[str]:
+    """Gate shard-scaling ratios declared via ``scaling_reference``.
+
+    A baseline cell may name a reference cell and a floor: the *fresh*
+    run's ``capacity_requests_per_sec`` ratio between the two (both
+    measured in the same run, so box speed cancels out) must stay at or
+    above the floor.  This is how the 8-shard cluster cell enforces
+    near-linear scaling over the 1-shard cell without depending on the
+    absolute speed of the CI runner.
+    """
+    failures: list[str] = []
+    for name, base in sorted(baseline.items()):
+        extra = base.get("extra_info") or {}
+        reference = extra.get("scaling_reference")
+        floor = extra.get("scaling_floor")
+        if not reference or floor is None:
+            continue
+        cur = ((fresh.get(name) or {}).get("extra_info") or {}).get(
+            "capacity_requests_per_sec"
+        )
+        ref = ((fresh.get(reference) or {}).get("extra_info") or {}).get(
+            "capacity_requests_per_sec"
+        )
+        if not cur or not ref:
+            failures.append(
+                f"{name}: scaling gate needs capacity_requests_per_sec "
+                f"on both {name} and {reference} in the fresh run"
+            )
+            continue
+        ratio = cur / ref
+        status = "ok" if ratio >= floor else "BELOW SCALING FLOOR"
+        print(
+            f"  {name:45s} capacity {ratio:5.2f}x vs {reference} "
+            f"(floor {floor:.1f}x) {status}"
+        )
+        if ratio < floor:
+            failures.append(
+                f"{name}: capacity scaled only {ratio:.2f}x over "
+                f"{reference}, below the {floor:.1f}x floor"
             )
     return failures
 

@@ -13,12 +13,17 @@ output into small files at the repo root:
 - ``BENCH_engines.json`` — per-engine fig12 replay throughput (Log,
   Set, FW, KG, Nemo), plus each cell's speedup over the wall-clock
   recorded just before the engine-datapath optimisation, the
-  request-pipeline vectorisation and the columnar-kernel change.
+  request-pipeline vectorisation and the columnar-kernel change;
+- ``BENCH_cluster.json`` — sharded-cluster replay (DESIGN.md §8):
+  1-shard and 8-shard critical-path capacity plus the metered lane,
+  with the 8-over-1 capacity scaling ratio ``check_regression.py``
+  floors at 3x.
 
 Usage::
 
     python benchmarks/save_baseline.py            # all suites
     python benchmarks/save_baseline.py --only replay
+    python benchmarks/save_baseline.py --only cluster
     python benchmarks/save_baseline.py --quick    # engines, 1 round (CI)
 
 Numbers are machine-dependent; the files exist to track the *trajectory*
@@ -207,11 +212,24 @@ def save_engines(*, quick: bool = False) -> None:
     _write(REPO_ROOT / "BENCH_engines.json", payload)
 
 
+def save_cluster() -> None:
+    benches = summarise(run_suite("bench_cluster.py"))
+    payload: dict = {"benchmarks": benches}
+    one = benches.get("test_cluster_replay_1shard")
+    eight = benches.get("test_cluster_replay_8shard")
+    if one and eight:
+        cap1 = (one.get("extra_info") or {}).get("capacity_requests_per_sec")
+        cap8 = (eight.get("extra_info") or {}).get("capacity_requests_per_sec")
+        if cap1 and cap8:
+            payload["capacity_scaling_8_over_1"] = cap8 / cap1
+    _write(REPO_ROOT / "BENCH_cluster.json", payload)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--only",
-        choices=["core_ops", "replay", "engines"],
+        choices=["core_ops", "replay", "engines", "cluster"],
         default=None,
         help="record just one suite (default: all)",
     )
@@ -230,6 +248,8 @@ def main(argv: list[str] | None = None) -> int:
         save_replay()
     if args.only in (None, "engines"):
         save_engines()
+    if args.only in (None, "cluster"):
+        save_cluster()
     return 0
 
 

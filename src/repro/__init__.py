@@ -12,6 +12,9 @@ Layers (bottom-up):
 - :mod:`repro.core` — Nemo itself.
 - :mod:`repro.analysis` — the paper's analytic models (Eqs. 1–11).
 - :mod:`repro.harness` — trace replay, metric sampling, reporting.
+- :mod:`repro.cluster` — sharded multi-tenant cache cluster: the
+  consistent-hash router, tenant quotas, and concurrent per-shard
+  replay with exact metric merges.
 - :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart::
@@ -59,6 +62,12 @@ from repro.baselines import (
 )
 from repro.core import NemoCache, NemoConfig
 from repro.harness import ReplayResult, replay
+from repro.cluster import (
+    CacheCluster,
+    ClusterConfig,
+    ClusterReplayResult,
+    ConsistentHashRouter,
+)
 
 __version__ = "1.0.0"
 
@@ -91,5 +100,9 @@ __all__ = [
     "NemoConfig",
     "ReplayResult",
     "replay",
+    "CacheCluster",
+    "ClusterConfig",
+    "ClusterReplayResult",
+    "ConsistentHashRouter",
     "__version__",
 ]

@@ -16,6 +16,13 @@ metrics (DESIGN.md §5)::
     python -m repro replay --engine log --kernel columnar --shards 4
     python -m repro replay --engine all --kernel scalar
 
+The ``cluster`` subcommand replays a multi-tenant Zipf mix on a
+sharded cache cluster (DESIGN.md §8) across a sweep of shard counts
+and prints per-shard scaling plus per-tenant isolation accounting::
+
+    python -m repro cluster --engine nemo --shards 1 2 4 8
+    python -m repro cluster --engine log --tenants 4 --quota-mib 8
+
 The ``profile`` subcommand runs one experiment under ``cProfile`` and
 prints the hottest call sites, so perf work starts from data::
 
@@ -28,40 +35,24 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.baselines.fairywren import FairyWrenCache
-from repro.baselines.kangaroo import KangarooCache
-from repro.baselines.log_structured import LogStructuredCache
-from repro.baselines.set_associative import SetAssociativeCache
-from repro.core.config import NemoConfig
-from repro.core.nemo import NemoCache
+from repro.cluster.factory import ENGINE_NAMES, make_engine
 from repro.flash.geometry import FlashGeometry
 from repro.harness.report import format_table
 from repro.harness.runner import replay
 from repro.workloads.mixer import merged_twitter_trace
 from repro.workloads.twitter_csv import load_twitter_csv
 
-ENGINE_NAMES = ("nemo", "log", "set", "fw", "kg")
-
 
 def build_engine(name: str, geometry: FlashGeometry, args):
     if name == "nemo":
-        return NemoCache(
+        return make_engine(
+            "nemo",
             geometry,
-            NemoConfig(
-                flush_threshold=args.flush_threshold,
-                sgs_per_index_group=args.sgs_per_index_group,
-                cached_index_ratio=args.cached_index_ratio,
-            ),
+            flush_threshold=args.flush_threshold,
+            sgs_per_index_group=args.sgs_per_index_group,
+            cached_index_ratio=args.cached_index_ratio,
         )
-    if name == "log":
-        return LogStructuredCache(geometry)
-    if name == "set":
-        return SetAssociativeCache(geometry, op_ratio=0.5)
-    if name == "fw":
-        return FairyWrenCache(geometry, log_fraction=0.05, op_ratio=0.05)
-    if name == "kg":
-        return KangarooCache(geometry, log_fraction=0.05, op_ratio=0.05)
-    raise ValueError(f"unknown engine {name!r}")
+    return make_engine(name, geometry)
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -217,13 +208,15 @@ def replay_main(argv: list[str]) -> int:
     Selects the replay kernel (``batched``, ``columnar``, ``scalar``)
     and, with ``--shards N``, splits the trace into N deterministic
     shards replayed across worker processes and merged exactly —
-    byte-identical metrics to the serial run (falling back to serial
-    replay when the engine/trace is ineligible)::
+    byte-identical metrics to the serial run.  An engine/trace/kernel
+    combination the sharded lane cannot replay is a hard error here
+    (no silent serial fallback — a caller asking for shards wants
+    parallel replay, not a quiet slowdown)::
 
         python -m repro replay --engine log --kernel columnar --shards 4
         python -m repro replay --engine all --kernel columnar
     """
-    from repro.harness.parallel import replay_sharded
+    from repro.harness.parallel import replay_sharded, sharding_eligible
     from repro.harness.runner import REPLAY_KERNELS
 
     parser = argparse.ArgumentParser(
@@ -262,6 +255,13 @@ def replay_main(argv: list[str]) -> int:
     parser.add_argument("--progress", action="store_true")
     args = parser.parse_args(argv)
 
+    if args.shards > 1 and args.kernel not in (None, "columnar"):
+        parser.error(
+            f"--shards {args.shards} requires the columnar kernel "
+            f"(the sharded lane is built on it); drop --kernel "
+            f"{args.kernel} or run without --shards"
+        )
+
     geometry = FlashGeometry(
         page_size=4096,
         pages_per_block=64,
@@ -282,6 +282,14 @@ def replay_main(argv: list[str]) -> int:
     for name in names:
         engine = build_engine(name, geometry, args)
         if args.shards > 1:
+            if not sharding_eligible(engine, trace):
+                parser.error(
+                    f"--shards {args.shards}: engine {engine.name!r} on "
+                    f"trace {trace.name!r} is not eligible for the "
+                    "sharded lane (sharding_eligible rejected it — only "
+                    "the eviction-free log engine shards); run without "
+                    "--shards for the serial columnar-with-bail lane"
+                )
             result = replay_sharded(
                 engine,
                 trace,
@@ -313,6 +321,177 @@ def replay_main(argv: list[str]) -> int:
     print(
         format_table(
             ["engine", "kernel", "WA", "miss", "req/s", "wall"], rows
+        )
+    )
+    return 0
+
+
+def cluster_main(argv: list[str]) -> int:
+    """``python -m repro cluster``: sharded multi-tenant cluster sweep.
+
+    Generates a tenant-interleaved Zipf mix, replays it on a cluster of
+    N independent shards for each requested shard count, and prints the
+    shard-scaling table (WA, miss ratio, critical-path capacity) plus a
+    per-tenant isolation table (miss ratio, attributed WA, admitted
+    bytes, quota rejects, and — unless ``--no-solo`` — interference
+    deltas against a solo-run reference)::
+
+        python -m repro cluster --engine nemo --shards 1 2 4 8
+        python -m repro cluster --engine log --tenants 4 --quota-mib 8
+    """
+    from repro.cluster import CacheCluster, ClusterConfig
+    from repro.workloads.multitenant import (
+        TenantSpec,
+        multi_tenant_trace,
+        tenant_quotas,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro cluster",
+        description="Replay a multi-tenant mix on a sharded cache "
+        "cluster and report scaling plus per-tenant isolation.",
+    )
+    parser.add_argument("--engine", default="nemo", choices=ENGINE_NAMES)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=[1, 2, 4, 8],
+        help="shard counts to sweep",
+    )
+    parser.add_argument("--requests", type=int, default=100_000)
+    parser.add_argument(
+        "--zones-per-shard",
+        type=int,
+        default=8,
+        help="device size per shard in 1 MiB zones",
+    )
+    parser.add_argument("--tenants", type=int, default=3)
+    parser.add_argument(
+        "--skew",
+        type=float,
+        nargs="+",
+        default=None,
+        help="per-tenant Zipf alpha, cycled over tenants "
+        "(default: 0.9 + 0.15 * tenant index)",
+    )
+    parser.add_argument(
+        "--keys-per-tenant", type=int, default=5_000, dest="keys_per_tenant"
+    )
+    parser.add_argument(
+        "--quota-mib",
+        type=float,
+        default=None,
+        help="per-tenant admitted-byte write budget in MiB "
+        "(default: unlimited)",
+    )
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--no-solo",
+        action="store_true",
+        help="skip the per-tenant solo-run interference references",
+    )
+    args = parser.parse_args(argv)
+    if args.tenants < 1:
+        parser.error("--tenants must be >= 1")
+    if any(n < 1 for n in args.shards):
+        parser.error("--shards values must be >= 1")
+
+    specs = [
+        TenantSpec(
+            name=f"t{i + 1}",
+            zipf_alpha=(
+                args.skew[i % len(args.skew)]
+                if args.skew
+                else 0.9 + 0.15 * i
+            ),
+            num_keys=args.keys_per_tenant,
+            quota_bytes=(
+                int(args.quota_mib * 2**20)
+                if args.quota_mib is not None
+                else None
+            ),
+        )
+        for i in range(args.tenants)
+    ]
+    trace = multi_tenant_trace(
+        specs, num_requests=args.requests, seed=args.seed
+    )
+    print(trace.describe())
+    print(
+        "tenants: "
+        + ", ".join(f"{s.name}(alpha={s.zipf_alpha:.2f})" for s in specs)
+    )
+
+    sweep_rows = []
+    result = None
+    for num_shards in args.shards:
+        config = ClusterConfig(
+            num_shards=num_shards,
+            engine=args.engine,
+            zones_per_shard=args.zones_per_shard,
+            seed=args.seed,
+            quotas=tenant_quotas(specs),
+        )
+        cluster = CacheCluster(config)
+        if args.no_solo:
+            result = cluster.replay(trace, jobs=args.jobs)
+        else:
+            result = cluster.replay_with_isolation(trace, jobs=args.jobs)
+        sweep_rows.append(
+            [
+                num_shards,
+                result.wa,
+                result.miss_ratio,
+                f"{result.capacity_requests_per_sec / 1e6:.2f}M",
+                f"{result.wall_seconds:.1f}s",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["shards", "WA", "miss", "capacity req/s", "wall"], sweep_rows
+        )
+    )
+
+    # Per-tenant isolation table for the last (largest) shard count.
+    assert result is not None
+    names_by_id = {
+        tid: tname for tname, tid in trace.meta["tenants"].items()
+    }
+    tenant_rows = []
+    for tid, roll in result.tenants.items():
+        interference = roll.interference
+        tenant_rows.append(
+            [
+                names_by_id.get(tid, str(tid)),
+                roll.account.lookups,
+                roll.miss_ratio,
+                roll.write_amplification,
+                roll.account.insert_bytes / 2**20,
+                roll.account.rejected_inserts,
+                (
+                    interference.delta_miss_ratio
+                    if interference is not None
+                    else float("nan")
+                ),
+                (
+                    interference.delta_write_amplification
+                    if interference is not None
+                    else float("nan")
+                ),
+            ]
+        )
+    print()
+    print(f"per-tenant isolation at {result.num_shards} shard(s):")
+    print(
+        format_table(
+            [
+                "tenant", "lookups", "miss", "WA", "MiB in",
+                "rejects", "d-miss", "d-WA",
+            ],
+            tenant_rows,
         )
     )
     return 0
@@ -357,6 +536,8 @@ def main(argv: list[str] | None = None) -> int:
         return profile_main(argv[1:])
     if argv and argv[0] == "faults":
         return faults_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        return cluster_main(argv[1:])
     if argv and argv[0] == "lint":
         from repro.lint.cli import main as lint_main
 

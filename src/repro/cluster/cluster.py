@@ -1,0 +1,532 @@
+"""A sharded, multi-tenant cache cluster over the engine registry.
+
+:class:`CacheCluster` fronts N shards — each a registered engine on its
+own flash device — behind the seeded consistent-hash router.  One
+replay proceeds in three deterministic steps:
+
+1. **Route once, columnar** — the router maps the whole key column to
+   shard owners in one vectorised pass, and the trace is split into
+   per-shard sub-traces that preserve the global request order within
+   each shard.
+2. **Replay shards concurrently** — each shard is one
+   :class:`~repro.harness.parallel.Cell` shipped to a worker process
+   (``run_cells`` fan-out, spawn-safe): the worker rebuilds its engine
+   from a descriptor, wraps it with the tenant meter, and runs the
+   ordinary serial :func:`~repro.harness.runner.replay` over its
+   sub-trace, sampling *raw integer counters* at the shard-local image
+   of every global sample boundary.
+3. **Merge exactly** — the parent folds per-shard counters in shard
+   order (independent of ``jobs``), rebuilds every derived ratio
+   through the real ``FlashStats`` / ``EngineCounters`` arithmetic
+   (the ``replay_sharded`` merge discipline), and merges latency
+   recorders via ``LatencyRecorder.merge``.  Ratios are *never* summed
+   across shards — only the integer components are.
+
+Shards share no state, so the merged metrics are a pure function of
+``(config, trace)``: byte-identical for any ``jobs``, and the 8-shard
+replay's critical path (slowest shard's in-replay wall) shrinks
+near-linearly with the shard count — the scaling the cluster benchmark
+ratchets.
+
+Isolation accounting: the per-shard tenant meters roll up into
+cluster-wide :class:`~repro.cluster.tenancy.TenantRollup` rows
+(per-tenant miss ratio, attributed WA, bytes written, quota rejects),
+and :meth:`CacheCluster.replay_with_isolation` attaches each tenant's
+*interference* — its shared-run metrics minus a solo-run reference
+where a fresh, identically-configured cluster replays only that
+tenant's requests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.base import CacheEngine, EngineCounters
+from repro.cluster.factory import ENGINE_NAMES, make_engine, shard_geometry
+from repro.cluster.router import ConsistentHashRouter
+from repro.cluster.tenancy import (
+    TenantAccount,
+    TenantInterference,
+    TenantMeterEngine,
+    TenantRollup,
+    rollup_tenants,
+    tenant_of_array,
+)
+from repro.errors import ConfigError
+from repro.flash.stats import FlashStats
+from repro.harness.metrics import MetricSeries
+from repro.harness.parallel import Cell, run_cells
+from repro.harness.percentile import LatencyRecorder
+from repro.harness.runner import replay
+from repro.workloads.trace import Trace
+
+#: Raw integer metrics each shard samples; every derived ratio the
+#: merged snapshot reports is rebuilt from these (never averaged).
+_RAW_METRICS = (
+    "lookups",
+    "hits",
+    "inserts",
+    "evicted_objects",
+    "object_count",
+    "logical_write_bytes",
+    "logical_read_bytes",
+    "host_write_bytes",
+    "host_read_bytes",
+    "flash_write_bytes",
+    "flash_read_bytes",
+    "host_write_ops",
+    "host_read_ops",
+    "erase_ops",
+    "gc_runs",
+    "gc_relocated_pages",
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Everything needed to (re)build one cluster deterministically.
+
+    ``quotas`` maps tenant id -> cluster-wide admitted-byte budget;
+    each shard enforces ``ceil(quota / num_shards)`` locally (tenant
+    keys spread uniformly, so the local shares are near-equal).
+    """
+
+    num_shards: int = 4
+    engine: str = "log"
+    zones_per_shard: int = 8
+    seed: int = 0
+    vnodes: int = 128
+    engine_params: dict[str, Any] = field(default_factory=dict)
+    quotas: dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigError("num_shards must be >= 1")
+        if self.zones_per_shard < 1:
+            raise ConfigError("zones_per_shard must be >= 1")
+        if self.engine not in ENGINE_NAMES:
+            raise ConfigError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{ENGINE_NAMES}"
+            )
+
+
+@dataclass
+class ClusterReplayResult:
+    """Merged outcome of one cluster replay."""
+
+    engine_name: str
+    trace_name: str
+    num_requests: int
+    num_shards: int
+    final: dict[str, float]
+    series: dict[str, MetricSeries] = field(default_factory=dict)
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    shard_finals: list[dict[str, float]] = field(default_factory=list)
+    shard_requests: list[int] = field(default_factory=list)
+    shard_wall_seconds: list[float] = field(default_factory=list)
+    tenants: dict[int, TenantRollup] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+
+    @property
+    def wa(self) -> float:
+        return self.final.get("wa", float("nan"))
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.final.get("miss_ratio", float("nan"))
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """In-replay wall seconds of the slowest shard."""
+        return max(self.shard_wall_seconds, default=0.0)
+
+    @property
+    def capacity_requests_per_sec(self) -> float:
+        """Throughput along the critical path: total requests over the
+        slowest shard's in-replay wall.  This is the cluster's capacity
+        with one core per shard — independent of how many cores the
+        *measuring* box has, which is what lets CI ratchet shard
+        scaling on small runners."""
+        cp = self.critical_path_seconds
+        if cp <= 0.0:
+            return float("nan")
+        return self.num_requests / cp
+
+    def summary(self) -> str:
+        return (
+            f"{self.engine_name} x{self.num_shards} on {self.trace_name}: "
+            f"{self.num_requests:,} reqs, WA={self.wa:.2f}, "
+            f"miss={self.miss_ratio:.3f}, "
+            f"capacity={self.capacity_requests_per_sec / 1e6:.2f}M req/s, "
+            f"{len(self.tenants)} tenant(s)"
+        )
+
+
+@dataclass(frozen=True)
+class _ShardOutcome:
+    """What one shard worker ships back (small and picklable)."""
+
+    shard_id: int
+    num_requests: int
+    final: dict[str, float]
+    #: (shard-local position, {raw metric: value}) samples, ascending.
+    points: list[tuple[int, dict[str, float]]]
+    latency: LatencyRecorder
+    accounts: dict[int, TenantAccount]
+    wall_seconds: float
+    sim_seconds: float
+
+
+def _replay_shard(
+    shard_id: int,
+    engine_name: str,
+    engine_params: dict[str, Any],
+    zones_per_shard: int,
+    ops: np.ndarray,
+    keys: np.ndarray,
+    sizes: np.ndarray,
+    trace_name: str,
+    sample_at: list[int],
+    record_latency: bool,
+    quotas: dict[int, int],
+    meter: bool,
+    arrival_rate: float,
+    kernel: str | None,
+) -> _ShardOutcome:
+    """Shard worker: rebuild the engine, replay the sub-trace serially.
+
+    Module-level and argument-picklable, so ``run_cells`` can ship it
+    to spawn workers; a pure function of its arguments, so results are
+    independent of job count and execution order.
+    """
+    engine: CacheEngine = make_engine(
+        engine_name, shard_geometry(zones_per_shard), **engine_params
+    )
+    meter_engine: TenantMeterEngine | None = None
+    if meter:
+        meter_engine = TenantMeterEngine(engine, quotas)
+        engine = meter_engine
+    trace = Trace(ops=ops, keys=keys, sizes=sizes, name=trace_name)
+    result = replay(
+        engine,
+        trace,
+        sample_at=sample_at,
+        sampled_metrics=_RAW_METRICS,
+        record_latency=record_latency,
+        arrival_rate=arrival_rate,
+        kernel=kernel,
+    )
+    # Re-shape the raw-metric series into per-position component dicts.
+    rows = {m: result.series[m].as_rows() for m in _RAW_METRICS}
+    positions = [x for x, _ in rows[_RAW_METRICS[0]]]
+    points = [
+        (
+            int(pos),
+            {m: float(rows[m][i][1]) for m in _RAW_METRICS},
+        )
+        for i, pos in enumerate(positions)
+    ]
+    return _ShardOutcome(
+        shard_id=shard_id,
+        num_requests=len(trace),
+        final=result.final,
+        points=points,
+        latency=result.latency,
+        accounts=meter_engine.tenant_accounts() if meter_engine else {},
+        wall_seconds=result.wall_seconds,
+        sim_seconds=result.sim_seconds,
+    )
+
+
+class CacheCluster:
+    """N registered engines behind a consistent-hash router."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.router = ConsistentHashRouter(
+            range(config.num_shards),
+            seed=config.seed,
+            vnodes=config.vnodes,
+        )
+
+    # ------------------------------------------------------------------
+    # Tenant quota policy
+    # ------------------------------------------------------------------
+    def shard_quotas(self) -> dict[int, int]:
+        """Per-shard admitted-byte budgets: ``ceil(quota / shards)``."""
+        n = self.config.num_shards
+        return {
+            tid: -(-budget // n)
+            for tid, budget in sorted(self.config.quotas.items())
+        }
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_trace(self, trace: Trace) -> list[np.ndarray]:
+        """Global request indices per shard (one columnar router pass).
+
+        Entry ``k`` holds the ascending global positions of the
+        requests shard ``k`` serves; indexing the trace columns with it
+        yields the shard's sub-trace in global order.
+        """
+        owners = self.router.route_array(trace.keys)
+        return [
+            np.flatnonzero(owners == sid) for sid in self.router.shard_ids
+        ]
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        trace: Trace,
+        *,
+        jobs: int | None = None,
+        sample_every: int | None = None,
+        sample_at: Sequence[int] | None = None,
+        record_latency: bool = False,
+        arrival_rate: float = 50_000.0,
+        sampled_metrics: tuple[str, ...] = (
+            "wa",
+            "miss_ratio",
+            "host_write_bytes",
+        ),
+        meter: bool = True,
+        kernel: str | None = None,
+    ) -> ClusterReplayResult:
+        """Replay ``trace`` across the cluster's shards concurrently.
+
+        ``meter=False`` skips the tenant wrapper (no accounts, no
+        quotas) so each shard runs its engine's fastest replay lane —
+        the configuration the scaling benchmark measures.  Metrics are
+        byte-identical for any ``jobs`` either way: workers are pure
+        and the merge folds shards in shard order.
+        """
+        if not meter and self.config.quotas:
+            raise ConfigError("quotas require meter=True")
+        if arrival_rate <= 0:
+            raise ConfigError("arrival_rate must be positive")
+        t0 = time.perf_counter()
+        n = len(trace)
+
+        # Global sample boundaries (the serial runner's layout).  The
+        # end-of-trace point is always *computed* (the merged final
+        # snapshot lives there) but only *recorded* into the series
+        # when the caller's sampling plan includes it.
+        if sample_at is not None:
+            requested = {int(b) for b in sample_at if 0 <= b <= n}
+        else:
+            every = sample_every if sample_every else max(1, n // 64)
+            if every <= 0:
+                raise ConfigError("sample_every must be positive")
+            requested = set(range(every, n + 1, every))
+            requested.add(n)
+        points = sorted(requested | {n})
+        points_arr = np.asarray(points, dtype=np.int64)
+
+        shard_indices = self.route_trace(trace)
+        quotas = self.shard_quotas()
+        cells: list[Cell] = []
+        local_points: list[np.ndarray] = []
+        for sid, idx in zip(self.router.shard_ids, shard_indices):
+            # Shard-local image of each global boundary: the number of
+            # this shard's requests strictly before the boundary.
+            local = np.searchsorted(idx, points_arr, side="left")
+            local_points.append(local)
+            cells.append(
+                Cell(
+                    cell_id=f"{trace.name}:cluster-shard{sid}",
+                    fn=_replay_shard,
+                    args=(
+                        sid,
+                        self.config.engine,
+                        dict(self.config.engine_params),
+                        self.config.zones_per_shard,
+                        trace.ops[idx],
+                        trace.keys[idx],
+                        trace.sizes[idx],
+                        f"{trace.name}/shard{sid}",
+                        [int(p) for p in np.unique(local)],
+                        record_latency,
+                        quotas,
+                        meter,
+                        arrival_rate,
+                        kernel,
+                    ),
+                )
+            )
+        outcomes: list[_ShardOutcome] = run_cells(cells, jobs=jobs)
+
+        # --------------------------------------------------------------
+        # Exact merge (shard order; independent of jobs)
+        # --------------------------------------------------------------
+        shard_samples: list[dict[int, dict[str, float]]] = [
+            dict(oc.points) for oc in outcomes
+        ]
+        probe = make_engine(
+            self.config.engine,
+            shard_geometry(self.config.zones_per_shard),
+            **dict(self.config.engine_params),
+        )
+        series = {m: MetricSeries(name=m) for m in sampled_metrics}
+        merged_final: dict[str, float] = {}
+        for j, p in enumerate(points):
+            comps = dict.fromkeys(_RAW_METRICS, 0)
+            for k in range(len(outcomes)):
+                local = int(local_points[k][j])
+                sample = shard_samples[k][local]
+                for m in _RAW_METRICS:
+                    comps[m] += int(sample[m])
+            snap = _merged_snapshot(comps, probe)
+            if p in requested:
+                for m in sampled_metrics:
+                    series[m].record(p, snap.get(m, float("nan")))
+            if p == n:
+                merged_final = snap
+
+        latency = LatencyRecorder()
+        if record_latency:
+            for oc in outcomes:
+                latency.merge(oc.latency)
+
+        rollups = rollup_tenants(
+            [oc.accounts for oc in outcomes],
+            [int(oc.final["host_write_bytes"]) for oc in outcomes],
+            [int(oc.final["flash_write_bytes"]) for oc in outcomes],
+        )
+
+        return ClusterReplayResult(
+            engine_name=probe.name,
+            trace_name=trace.name,
+            num_requests=n,
+            num_shards=self.config.num_shards,
+            final=merged_final,
+            series=series,
+            latency=latency,
+            shard_finals=[oc.final for oc in outcomes],
+            shard_requests=[oc.num_requests for oc in outcomes],
+            shard_wall_seconds=[oc.wall_seconds for oc in outcomes],
+            tenants=rollups,
+            wall_seconds=time.perf_counter() - t0,
+            sim_seconds=n / arrival_rate,
+        )
+
+    # ------------------------------------------------------------------
+    # Isolation accounting
+    # ------------------------------------------------------------------
+    def replay_with_isolation(
+        self,
+        trace: Trace,
+        *,
+        jobs: int | None = None,
+        sample_every: int | None = None,
+        record_latency: bool = False,
+        arrival_rate: float = 50_000.0,
+        kernel: str | None = None,
+    ) -> ClusterReplayResult:
+        """Shared replay plus a solo-run reference per tenant.
+
+        For every tenant in the trace, a *fresh* cluster with this
+        cluster's exact configuration replays only that tenant's
+        requests; the tenant's interference is its shared-run miss
+        ratio / WA minus the solo run's.  Solo references are replayed
+        sequentially after the shared run (each solo replay fans its
+        own shards out over ``jobs``), so the whole procedure stays
+        deterministic.
+        """
+        shared = self.replay(
+            trace,
+            jobs=jobs,
+            sample_every=sample_every,
+            record_latency=record_latency,
+            arrival_rate=arrival_rate,
+            kernel=kernel,
+        )
+        tenant_col = tenant_of_array(trace.keys)
+        for tid in sorted(shared.tenants):
+            mask = tenant_col == tid
+            solo_trace = Trace(
+                ops=trace.ops[mask],
+                keys=trace.keys[mask],
+                sizes=trace.sizes[mask],
+                name=f"{trace.name}/solo-t{tid}",
+            )
+            solo_cluster = CacheCluster(self.config)
+            solo = solo_cluster.replay(
+                solo_trace,
+                jobs=jobs,
+                sample_every=sample_every,
+                arrival_rate=arrival_rate,
+                kernel=kernel,
+            )
+            solo_roll = solo.tenants.get(tid)
+            if solo_roll is None:  # tenant issued no metered requests
+                continue
+            shared_roll = shared.tenants[tid]
+            interference = TenantInterference(
+                solo_miss_ratio=solo_roll.miss_ratio,
+                solo_write_amplification=solo_roll.write_amplification,
+                delta_miss_ratio=shared_roll.miss_ratio
+                - solo_roll.miss_ratio,
+                delta_write_amplification=shared_roll.write_amplification
+                - solo_roll.write_amplification,
+            )
+            shared.tenants[tid] = replace(
+                shared_roll, interference=interference
+            )
+        return shared
+
+
+def _merged_snapshot(
+    comps: Mapping[str, int], probe: CacheEngine
+) -> dict[str, float]:
+    """Rebuild a full ``metrics_snapshot()`` dict from summed counters.
+
+    The integers route through a real :class:`FlashStats` /
+    :class:`EngineCounters` pair so every derived ratio (alwa, dlwa,
+    total_wa, miss_ratio, nan-on-zero) uses the exact arithmetic a
+    live engine uses; the headline ``wa`` is read through ``probe``'s
+    own ``write_amplification`` property so each engine's reporting
+    convention (ALWA on ZNS, total WA on conventional devices) is
+    preserved at cluster level.
+    """
+    stats = FlashStats(
+        logical_write_bytes=comps["logical_write_bytes"],
+        logical_read_bytes=comps["logical_read_bytes"],
+        host_write_bytes=comps["host_write_bytes"],
+        host_read_bytes=comps["host_read_bytes"],
+        flash_write_bytes=comps["flash_write_bytes"],
+        flash_read_bytes=comps["flash_read_bytes"],
+        host_write_ops=comps["host_write_ops"],
+        host_read_ops=comps["host_read_ops"],
+        erase_ops=comps["erase_ops"],
+        gc_runs=comps["gc_runs"],
+        gc_relocated_pages=comps["gc_relocated_pages"],
+    )
+    counters = EngineCounters(
+        lookups=comps["lookups"],
+        hits=comps["hits"],
+        inserts=comps["inserts"],
+        evicted_objects=comps["evicted_objects"],
+    )
+    probe.stats = stats
+    snap = stats.snapshot()
+    snap.update(
+        {
+            "lookups": counters.lookups,
+            "hits": counters.hits,
+            "miss_ratio": counters.miss_ratio,
+            "inserts": counters.inserts,
+            "evicted_objects": counters.evicted_objects,
+            "wa": probe.write_amplification,
+            "object_count": comps["object_count"],
+        }
+    )
+    return snap

@@ -93,8 +93,17 @@ class Cell:
 
 
 def default_jobs() -> int:
-    """Default worker count: all cores but one, at least 1."""
-    return max(1, (os.cpu_count() or 2) - 1)
+    """Default worker count: all *usable* cores but one, at least 1.
+
+    Prefers ``os.process_cpu_count()`` (Python >= 3.13) because it
+    respects CPU affinity masks — a container pinned to 4 of 64 cores
+    should not spawn 63 workers.  Older interpreters fall back to
+    ``os.cpu_count()``.  Every fan-out layer (``run_cells``,
+    ``replay_sharded``, the cluster replay) resolves ``jobs=None``
+    through this one function, so the policy is applied consistently.
+    """
+    count_fn = getattr(os, "process_cpu_count", None) or os.cpu_count
+    return max(1, (count_fn() or 2) - 1)
 
 
 def _run_cell(

@@ -233,7 +233,7 @@ class SetOrderRule(Rule):
 
     code = "R003"
     name = "set-iteration-order"
-    zones = frozenset({"core", "flash"})
+    zones = frozenset({"core", "flash", "cluster"})
 
     ORDER_SENSITIVE_CALLS = frozenset({"list", "tuple", "enumerate"})
     SET_CONSTRUCTORS = frozenset({"set", "frozenset"})

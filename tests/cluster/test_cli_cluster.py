@@ -1,0 +1,85 @@
+"""CLI tests: ``repro cluster`` and the ``repro replay`` shard guard."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestClusterCLI:
+    def test_sweep_end_to_end(self, capsys):
+        rc = main(
+            [
+                "cluster", "--engine", "log", "--shards", "1", "2",
+                "--requests", "6000", "--tenants", "2",
+                "--keys-per-tenant", "600", "--quota-mib", "1",
+                "--jobs", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shards" in out and "capacity req/s" in out
+        assert "per-tenant isolation at 2 shard(s)" in out
+        # Both tenants appear with interference deltas (solo refs ran).
+        assert "t1" in out and "t2" in out
+        assert "d-miss" in out
+
+    def test_no_solo_skips_interference(self, capsys):
+        rc = main(
+            [
+                "cluster", "--engine", "log", "--shards", "2",
+                "--requests", "4000", "--tenants", "2",
+                "--keys-per-tenant", "500", "--no-solo", "--jobs", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nan" in out  # interference columns are empty markers
+
+    def test_rejects_bad_tenant_count(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--tenants", "0"])
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--shards", "0"])
+
+
+class TestReplayShardGuard:
+    """``--shards`` must fail fast instead of silently going serial."""
+
+    def test_ineligible_engine_errors(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "replay", "--engine", "nemo", "--shards", "2",
+                    "--requests", "3000",
+                ]
+            )
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "not eligible for the sharded lane" in err
+
+    def test_non_columnar_kernel_errors(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "replay", "--engine", "log", "--shards", "2",
+                    "--kernel", "scalar", "--requests", "3000",
+                ]
+            )
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "requires the columnar kernel" in err
+
+    def test_eligible_combination_still_runs(self, capsys):
+        rc = main(
+            [
+                "replay", "--engine", "log", "--shards", "2",
+                "--jobs", "1", "--requests", "20000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "columnar" in out

@@ -1,0 +1,276 @@
+"""Cluster replay: determinism, merge exactness, isolation accounting.
+
+The contracts pinned here:
+
+- cluster metrics are a pure function of ``(config, trace)`` — byte
+  identical for any ``jobs`` (the 2-job runs exercise the real spawn
+  pool, which is why these tests live in a file, not a REPL);
+- a 1-shard cluster is *exactly* a serial replay of the same engine on
+  the same device (the merge arithmetic adds nothing);
+- tenant accounts partition the cluster totals, quotas are enforced,
+  and the solo-run interference references match independently
+  replayed solo clusters.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    CacheCluster,
+    ClusterConfig,
+    make_engine,
+    shard_geometry,
+    tenant_of_array,
+)
+from repro.errors import ConfigError
+from repro.harness.runner import replay
+from repro.workloads.multitenant import TenantSpec, multi_tenant_trace
+from repro.workloads.trace import Trace
+
+
+def _assert_finals_identical(fa, fb):
+    assert fa.keys() == fb.keys()
+    for key in fa:
+        va, vb = fa[key], fb[key]
+        assert va == vb or (
+            isinstance(va, float)
+            and isinstance(vb, float)
+            and math.isnan(va)
+            and math.isnan(vb)
+        ), f"{key}: {va!r} != {vb!r}"
+
+
+def _assert_results_identical(a, b):
+    _assert_finals_identical(a.final, b.final)
+    assert a.series.keys() == b.series.keys()
+    for name in a.series:
+        rows_a = a.series[name].as_rows()
+        rows_b = b.series[name].as_rows()
+        assert len(rows_a) == len(rows_b), name
+        for (xa, va), (xb, vb) in zip(rows_a, rows_b):
+            assert xa == xb
+            assert va == vb or (math.isnan(va) and math.isnan(vb))
+    assert a.latency._values == b.latency._values
+    assert a.num_requests == b.num_requests
+    assert a.sim_seconds == b.sim_seconds
+    assert sorted(a.tenants) == sorted(b.tenants)
+    for tid in a.tenants:
+        assert (
+            a.tenants[tid].account.as_dict()
+            == b.tenants[tid].account.as_dict()
+        )
+
+
+def _trace(num_requests=8_000, seed=0, quota=None):
+    specs = [
+        TenantSpec(name="a", zipf_alpha=0.9, num_keys=800, quota_bytes=quota),
+        TenantSpec(name="b", zipf_alpha=1.2, num_keys=600, request_share=2.0),
+    ]
+    return multi_tenant_trace(specs, num_requests=num_requests, seed=seed)
+
+
+class TestDeterminism:
+    def test_jobs_do_not_change_metrics(self):
+        """Same seed -> byte-identical merged metrics for any --jobs."""
+        trace = _trace()
+        config = ClusterConfig(num_shards=4, engine="log")
+        serial = CacheCluster(config).replay(
+            trace, jobs=1, sample_every=1_000, record_latency=True
+        )
+        pooled = CacheCluster(config).replay(
+            trace, jobs=2, sample_every=1_000, record_latency=True
+        )
+        _assert_results_identical(serial, pooled)
+
+    def test_repeat_run_identical(self):
+        trace = _trace()
+        config = ClusterConfig(num_shards=3, engine="fw")
+        a = CacheCluster(config).replay(trace, jobs=1)
+        b = CacheCluster(config).replay(trace, jobs=1)
+        _assert_results_identical(a, b)
+
+    def test_nemo_cluster_replays(self):
+        """Nemo needs >= 4 zones per shard; tiny shards still merge."""
+        trace = _trace(num_requests=2_000)
+        config = ClusterConfig(
+            num_shards=8, engine="nemo", zones_per_shard=4
+        )
+        result = CacheCluster(config).replay(trace, jobs=1)
+        assert result.num_requests == 2_000
+        assert sum(result.shard_requests) == 2_000
+
+
+class TestOneShardIsSerial:
+    def test_final_matches_serial_replay(self):
+        """One shard + meter off == plain serial replay, bit for bit."""
+        trace = _trace()
+        config = ClusterConfig(num_shards=1, engine="log", zones_per_shard=8)
+        cluster = CacheCluster(config).replay(
+            trace, jobs=1, sample_every=2_000, meter=False
+        )
+        engine = make_engine("log", shard_geometry(8))
+        serial = replay(engine, trace, sample_every=2_000)
+        _assert_finals_identical(cluster.final, serial.final)
+        for name in cluster.series:
+            assert (
+                cluster.series[name].as_rows()
+                == serial.series[name].as_rows()
+            )
+
+    def test_wa_convention_matches_engine(self):
+        """The merged 'wa' uses each engine's own reporting convention
+        (Set reports total WA, the rest ALWA)."""
+        trace = _trace(num_requests=4_000)
+        for engine_name in ("log", "set"):
+            config = ClusterConfig(num_shards=1, engine=engine_name)
+            cluster = CacheCluster(config).replay(
+                trace, jobs=1, meter=False
+            )
+            engine = make_engine(engine_name, shard_geometry(8))
+            serial = replay(engine, trace)
+            assert cluster.wa == serial.final["wa"]
+
+
+class TestRoutingInvariants:
+    def test_route_trace_partitions_requests(self):
+        trace = _trace()
+        cluster = CacheCluster(ClusterConfig(num_shards=4))
+        shards = cluster.route_trace(trace)
+        assert sum(len(idx) for idx in shards) == len(trace)
+        merged = np.sort(np.concatenate(shards))
+        assert np.array_equal(merged, np.arange(len(trace)))
+
+    def test_shard_requests_match_router(self):
+        trace = _trace()
+        cluster = CacheCluster(ClusterConfig(num_shards=4))
+        result = cluster.replay(trace, jobs=1)
+        profile = cluster.router.load_profile(trace.keys)
+        assert result.shard_requests == [
+            profile[s] for s in cluster.router.shard_ids
+        ]
+
+
+class TestTenantAccounting:
+    def test_accounts_partition_totals(self):
+        trace = _trace()
+        result = CacheCluster(ClusterConfig(num_shards=4)).replay(
+            trace, jobs=1
+        )
+        assert sorted(result.tenants) == [1, 2]
+        assert sum(
+            r.account.lookups for r in result.tenants.values()
+        ) == int(result.final["lookups"])
+        assert sum(
+            r.account.hits for r in result.tenants.values()
+        ) == int(result.final["hits"])
+        assert sum(
+            r.account.inserts for r in result.tenants.values()
+        ) == int(result.final["inserts"])
+        assert sum(
+            r.account.insert_bytes for r in result.tenants.values()
+        ) == int(result.final["logical_write_bytes"])
+
+    def test_attribution_partitions_flash_writes(self):
+        trace = _trace()
+        result = CacheCluster(ClusterConfig(num_shards=3)).replay(
+            trace, jobs=1
+        )
+        assert sum(
+            r.attributed_flash_write_bytes for r in result.tenants.values()
+        ) == pytest.approx(result.final["flash_write_bytes"])
+        assert sum(
+            r.attributed_host_write_bytes for r in result.tenants.values()
+        ) == pytest.approx(result.final["host_write_bytes"])
+
+    def test_quota_enforced(self):
+        quota = 64 * 1024
+        trace = _trace(quota=quota)
+        config = ClusterConfig(
+            num_shards=4, engine="log", quotas={1: quota}
+        )
+        result = CacheCluster(config).replay(trace, jobs=1)
+        limited = result.tenants[1]
+        unlimited = result.tenants[2]
+        assert limited.account.rejected_inserts > 0
+        # Each shard grants ceil(quota / num_shards); the cluster-wide
+        # admitted total cannot exceed the sum of the shard grants.
+        assert limited.account.insert_bytes <= -(-quota // 4) * 4
+        assert unlimited.account.rejected_inserts == 0
+
+    def test_meter_off_with_quotas_rejected(self):
+        config = ClusterConfig(num_shards=2, quotas={1: 1 << 20})
+        with pytest.raises(ConfigError):
+            CacheCluster(config).replay(_trace(), jobs=1, meter=False)
+
+
+class TestIsolation:
+    def test_single_tenant_interference_is_zero(self):
+        """With one tenant, shared == solo: deltas are exactly 0.0."""
+        specs = [TenantSpec(name="only", zipf_alpha=1.0, num_keys=500)]
+        trace = multi_tenant_trace(specs, num_requests=4_000)
+        config = ClusterConfig(num_shards=2, engine="log")
+        result = CacheCluster(config).replay_with_isolation(trace, jobs=1)
+        roll = result.tenants[1]
+        assert roll.interference is not None
+        assert roll.interference.delta_miss_ratio == 0.0
+        assert roll.interference.delta_write_amplification == 0.0
+
+    def test_solo_reference_matches_fresh_solo_run(self):
+        """The solo reference is a real replay of the tenant's requests
+        on a fresh identical cluster — reproducible independently."""
+        trace = _trace(num_requests=6_000)
+        config = ClusterConfig(num_shards=2, engine="log")
+        result = CacheCluster(config).replay_with_isolation(trace, jobs=1)
+        for tid, roll in result.tenants.items():
+            mask = tenant_of_array(trace.keys) == tid
+            solo_trace = Trace(
+                ops=trace.ops[mask],
+                keys=trace.keys[mask],
+                sizes=trace.sizes[mask],
+                name=f"solo-check/{tid}",
+            )
+            solo = CacheCluster(config).replay(solo_trace, jobs=1)
+            assert roll.interference is not None
+            assert (
+                roll.interference.solo_miss_ratio
+                == solo.tenants[tid].miss_ratio
+            )
+            expected_delta = (
+                roll.miss_ratio - roll.interference.solo_miss_ratio
+            )
+            assert roll.interference.delta_miss_ratio == expected_delta
+
+    def test_interference_nonnegative_for_contended_cache(self):
+        """Sharing a small cache cannot *improve* a tenant's miss ratio
+        (disjoint key spaces: the co-tenant only evicts, never
+        prefetches)."""
+        trace = _trace(num_requests=10_000)
+        config = ClusterConfig(
+            num_shards=2, engine="log", zones_per_shard=2
+        )
+        result = CacheCluster(config).replay_with_isolation(trace, jobs=1)
+        for roll in result.tenants.values():
+            assert roll.interference is not None
+            assert roll.interference.delta_miss_ratio >= -1e-12
+
+
+class TestConfigValidation:
+    def test_bad_shard_count(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(num_shards=0)
+
+    def test_unknown_engine(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(engine="bogus")
+
+    def test_summary_mentions_shards(self):
+        trace = _trace(num_requests=2_000)
+        result = CacheCluster(ClusterConfig(num_shards=2)).replay(
+            trace, jobs=1
+        )
+        assert "x2" in result.summary()
+        assert result.capacity_requests_per_sec > 0

@@ -1,0 +1,112 @@
+"""Unit + property tests for the consistent-hash router."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.router import ConsistentHashRouter
+from repro.errors import ConfigError
+
+
+def _keys(n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2**62, size=n, dtype=np.int64)
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            ConsistentHashRouter([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigError):
+            ConsistentHashRouter([0, 1, 1])
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ConfigError):
+            ConsistentHashRouter([-1, 0])
+
+    def test_rejects_bad_vnodes(self):
+        with pytest.raises(ConfigError):
+            ConsistentHashRouter([0, 1], vnodes=0)
+
+    def test_shard_ids_sorted(self):
+        router = ConsistentHashRouter([3, 0, 2])
+        assert router.shard_ids == (0, 2, 3)
+        assert router.num_shards == 3
+
+
+class TestRouting:
+    def test_scalar_matches_array(self):
+        router = ConsistentHashRouter(range(4), seed=7)
+        keys = _keys(500)
+        owners = router.route_array(keys)
+        assert [router.route(int(k)) for k in keys] == list(owners)
+
+    def test_all_owners_valid(self):
+        router = ConsistentHashRouter(range(5), seed=3)
+        owners = router.route_array(_keys())
+        assert set(np.unique(owners)) <= set(router.shard_ids)
+
+    def test_load_profile_counts(self):
+        router = ConsistentHashRouter(range(4))
+        keys = _keys(8_000)
+        profile = router.load_profile(keys)
+        assert sum(profile.values()) == len(keys)
+        assert sorted(profile) == list(router.shard_ids)
+
+
+class TestProperties:
+    """Hypothesis properties: the router's three contracts."""
+
+    @given(seed=st.integers(0, 2**32 - 1), num_shards=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_placement_stable_under_fixed_seed(self, seed, num_shards):
+        """Same (shard set, seed, vnodes) -> identical placement."""
+        keys = _keys(2_000, seed=1)
+        a = ConsistentHashRouter(range(num_shards), seed=seed)
+        b = ConsistentHashRouter(range(num_shards), seed=seed)
+        assert np.array_equal(a.route_array(keys), b.route_array(keys))
+
+    @given(seed=st.integers(0, 2**32 - 1), num_shards=st.integers(2, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_balanced_within_tolerance(self, seed, num_shards):
+        """No shard holds more than twice its fair share of random keys.
+
+        128 vnodes/shard bounds the relative spread well under 2x; the
+        loose factor keeps the property stable across arbitrary seeds.
+        """
+        keys = _keys(num_shards * 4_000, seed=2)
+        router = ConsistentHashRouter(range(num_shards), seed=seed)
+        profile = router.load_profile(keys)
+        fair = len(keys) / num_shards
+        assert max(profile.values()) < 2.0 * fair
+        assert min(profile.values()) > 0
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        num_shards=st.integers(2, 8),
+        removed_index=st.integers(0, 7),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_removal_remaps_only_removed_shards_keys(
+        self, seed, num_shards, removed_index
+    ):
+        """Dropping one shard moves only the keys that shard owned."""
+        removed = removed_index % num_shards
+        keys = _keys(5_000, seed=3)
+        router = ConsistentHashRouter(range(num_shards), seed=seed)
+        shrunk = router.without(removed)
+        assert shrunk.shard_ids == tuple(
+            s for s in router.shard_ids if s != removed
+        )
+        before = router.route_array(keys)
+        after = shrunk.route_array(keys)
+        surviving = before != removed
+        assert np.array_equal(before[surviving], after[surviving])
+        assert not np.any(after == removed)
+
+    def test_without_unknown_shard(self):
+        with pytest.raises(ConfigError):
+            ConsistentHashRouter(range(3)).without(9)

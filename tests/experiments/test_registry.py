@@ -24,6 +24,7 @@ class TestRegistry:
             "fig19",
             "table6",
             "appendixA",
+            "cluster",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -21,6 +21,7 @@ class TestExports:
             "repro.core",
             "repro.analysis",
             "repro.harness",
+            "repro.cluster",
             "repro.experiments",
         ):
             importlib.import_module(module)

@@ -1,0 +1,100 @@
+"""Multi-tenant trace generation: determinism, shares, namespacing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.tenancy import tenant_of_array
+from repro.errors import TraceError
+from repro.workloads.multitenant import (
+    TenantSpec,
+    multi_tenant_trace,
+    tenant_quotas,
+)
+from repro.workloads.trace import OP_GET
+
+
+def _specs():
+    return [
+        TenantSpec(name="hot", zipf_alpha=1.3, num_keys=500),
+        TenantSpec(
+            name="warm",
+            zipf_alpha=0.9,
+            num_keys=1_000,
+            request_share=3.0,
+            quota_bytes=1 << 20,
+        ),
+    ]
+
+
+class TestSpecValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(TraceError):
+            TenantSpec(name="")
+
+    def test_rejects_bad_share(self):
+        with pytest.raises(TraceError):
+            TenantSpec(name="t", request_share=0)
+
+    def test_rejects_negative_quota(self):
+        with pytest.raises(TraceError):
+            TenantSpec(name="t", quota_bytes=-5)
+
+    def test_rejects_bad_get_fraction(self):
+        with pytest.raises(TraceError):
+            TenantSpec(name="t", get_fraction=1.5)
+
+
+class TestQuotaMap:
+    def test_only_quotaed_tenants_listed(self):
+        quotas = tenant_quotas(_specs())
+        assert quotas == {2: 1 << 20}
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = multi_tenant_trace(_specs(), num_requests=4_000, seed=5)
+        b = multi_tenant_trace(_specs(), num_requests=4_000, seed=5)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.ops, b.ops)
+        assert np.array_equal(a.sizes, b.sizes)
+
+    def test_seed_changes_trace(self):
+        a = multi_tenant_trace(_specs(), num_requests=4_000, seed=5)
+        b = multi_tenant_trace(_specs(), num_requests=4_000, seed=6)
+        assert not np.array_equal(a.keys, b.keys)
+
+    def test_request_share_split(self):
+        trace = multi_tenant_trace(_specs(), num_requests=4_000)
+        tenants = tenant_of_array(trace.keys)
+        assert int(np.count_nonzero(tenants == 1)) == 1_000
+        assert int(np.count_nonzero(tenants == 2)) == 3_000
+        assert trace.meta["tenant_requests"] == {"hot": 1_000, "warm": 3_000}
+
+    def test_keys_namespaced_by_position(self):
+        trace = multi_tenant_trace(_specs(), num_requests=2_000)
+        assert trace.meta["tenants"] == {"hot": 1, "warm": 2}
+        assert set(np.unique(tenant_of_array(trace.keys))) == {1, 2}
+
+    def test_get_fraction_respected(self):
+        specs = [TenantSpec(name="ro", get_fraction=1.0, num_keys=100)]
+        trace = multi_tenant_trace(specs, num_requests=1_000)
+        assert np.all(trace.ops == OP_GET)
+
+    def test_total_key_space(self):
+        trace = multi_tenant_trace(_specs(), num_requests=2_000)
+        assert trace.num_keys == 1_500
+
+    def test_duplicate_names_rejected(self):
+        specs = [TenantSpec(name="x"), TenantSpec(name="x")]
+        with pytest.raises(TraceError):
+            multi_tenant_trace(specs, num_requests=100)
+
+    def test_too_few_requests_rejected(self):
+        with pytest.raises(TraceError):
+            multi_tenant_trace(_specs(), num_requests=1)
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(TraceError):
+            multi_tenant_trace([], num_requests=100)
