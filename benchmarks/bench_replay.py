@@ -17,15 +17,20 @@ The columnar-lane targets (DESIGN.md §5) cover the whole-trace kernel:
 - ``fig15_micro_columnar`` — the acceptance cell (the fig15 micro
   workload on the Log engine, latency-free), ratcheted at >= 5M req/s
   by ``benchmarks/check_regression.py`` via ``floor_requests_per_sec``;
-- ``fig15_micro_sharded`` — the same cell split into two deterministic
-  shards and merged exactly (``replay_sharded``), wall-clock dominated
-  by worker-process startup at this scale but gated so the parallel
-  lane cannot silently rot.
+- ``fig15_micro_nemo_batched`` / ``fig15_micro_nemo_columnar`` — the
+  same workload on the Nemo engine, batched vs the whole-trace Nemo
+  kernel; the columnar cell is ratcheted at >= 2.5M req/s;
+- ``fig15_micro_sharded`` — the cell under ``replay_sharded``: at this
+  scale the requests-per-shard threshold demotes it to the serial
+  whole-trace kernel (the satellite fix for the ~100x fan-out cliff);
+- ``fig15_micro_sharded_forced`` — the same call with
+  ``min_requests_per_shard=0``, forcing the analytic fan-out lane so
+  the worker-startup-dominated side stays measured and cannot rot.
 
 ``benchmarks/save_baseline.py`` records these as ``BENCH_replay.json``
-with the fast-over-seed, columnar-over-batched and vs-pre-columnar
-speedups.  Every lane must produce identical final metrics — asserted
-here and in ``tests/harness/test_runner_paths.py``.
+with the fast-over-seed, columnar-over-batched (Log and Nemo) and
+vs-pre-columnar speedups.  Every lane must produce identical final
+metrics — asserted here and in ``tests/harness/test_runner_paths.py``.
 """
 
 from __future__ import annotations
@@ -215,6 +220,10 @@ def test_replay_fig15_micro_columnar(benchmark):
 
 
 def test_replay_fig15_micro_sharded(benchmark):
+    """At 60k requests the requests-per-shard threshold demotes this
+    call to the serial whole-trace kernel (with a note) — the demotion
+    is the behaviour under test, so the cell now tracks serial-kernel
+    throughput instead of the ~100x worker-startup cliff."""
     from repro.harness.parallel import replay_sharded
 
     engine, trace = fig15_micro_cell()
@@ -225,5 +234,94 @@ def test_replay_fig15_micro_sharded(benchmark):
         ),
     )
     _record_throughput(benchmark, result)
+    assert any("fan-out threshold" in note for note in result.notes)
     reference = replay(engine, trace)
     assert result.final == reference.final
+
+
+def test_replay_fig15_micro_sharded_forced(benchmark):
+    """The other side of the threshold: ``min_requests_per_shard=0``
+    forces the analytic fan-out lane (worker-process startup dominates
+    at this scale) so its wall-clock stays on the record."""
+    from repro.harness.parallel import replay_sharded
+
+    engine, trace = fig15_micro_cell()
+    result = _bench(
+        benchmark,
+        lambda: replay_sharded(
+            fig15_micro_cell()[0],
+            trace,
+            shards=2,
+            jobs=2,
+            kernel="columnar",
+            min_requests_per_shard=0,
+        ),
+    )
+    _record_throughput(benchmark, result)
+    assert result.notes == []
+    reference = replay(engine, trace)
+    assert result.final == reference.final
+
+
+# ----------------------------------------------------------------------
+# Nemo whole-trace kernel (fig15 micro cell on the Nemo engine)
+# ----------------------------------------------------------------------
+
+#: Acceptance floor for the fig15 Nemo micro cell on the whole-trace
+#: Nemo kernel; ``check_regression.py`` fails any refresh below it.
+FIG15_MICRO_NEMO_FLOOR_RPS = 2_500_000
+
+
+def fig15_micro_nemo_cell():
+    """The fig15 micro workload on the Nemo engine, latency-free."""
+    from repro.core.nemo import NemoCache
+    from repro.experiments.common import nemo_config, scale_params, twitter_trace
+
+    geometry, num_requests = scale_params("micro")
+    return NemoCache(geometry, nemo_config()), twitter_trace(num_requests)
+
+
+def _assert_finals_identical(fa, fb):
+    """Nemo snapshots carry nan cells (pbfg ratio on zero touches), so
+    lane parity needs a nan-aware compare, not dict equality."""
+    import math
+
+    assert fa.keys() == fb.keys()
+    for key in fa:
+        va, vb = fa[key], fb[key]
+        assert va == vb or (
+            isinstance(va, float)
+            and isinstance(vb, float)
+            and math.isnan(va)
+            and math.isnan(vb)
+        ), f"{key}: {va!r} != {vb!r}"
+
+
+def test_replay_fig15_micro_nemo_batched(benchmark):
+    engine, trace = fig15_micro_nemo_cell()
+    result = benchmark.pedantic(
+        lambda e: replay(e, trace),
+        setup=lambda: ((fig15_micro_nemo_cell()[0],), {}),
+        rounds=3,
+        iterations=1,
+    )
+    _record_throughput(benchmark, result)
+
+
+def test_replay_fig15_micro_nemo_columnar(benchmark):
+    engine, trace = fig15_micro_nemo_cell()
+    # Warm the trace's cached decision columns, then time only the
+    # replay itself (fresh engine per round in untimed setup), so the
+    # floor gates kernel throughput, not construction or hashing.
+    replay(fig15_micro_nemo_cell()[0], trace, kernel="columnar")
+    result = benchmark.pedantic(
+        lambda e: replay(e, trace, kernel="columnar"),
+        setup=lambda: ((fig15_micro_nemo_cell()[0],), {}),
+        rounds=5,
+        iterations=1,
+    )
+    _record_throughput(benchmark, result)
+    benchmark.extra_info["floor_requests_per_sec"] = FIG15_MICRO_NEMO_FLOOR_RPS
+    assert result.kernel == "columnar" and result.notes == []
+    reference = replay(engine, trace)
+    _assert_finals_identical(result.final, reference.final)

@@ -7,9 +7,10 @@ output into small files at the repo root:
   (engine insert/lookup, bloom add/query, zipf sampling, latency model);
 - ``BENCH_replay.json`` — end-to-end replay throughput (requests/sec)
   for the seed-reference loop, the fast path, the instrumented path and
-  the columnar/sharded lanes (including the fig15 micro acceptance cell
-  with its hard 5M req/s floor), plus the fast-over-seed,
-  columnar-over-batched and vs-pre-columnar speedups;
+  the columnar/sharded lanes (including the fig15 micro acceptance
+  cells with their hard floors: Log kernel 5M req/s, Nemo kernel
+  2.5M req/s), plus the fast-over-seed, columnar-over-batched (Log and
+  Nemo) and vs-pre-columnar speedups;
 - ``BENCH_engines.json`` — per-engine fig12 replay throughput (Log,
   Set, FW, KG, Nemo), plus each cell's speedup over the wall-clock
   recorded just before the engine-datapath optimisation, the
@@ -50,7 +51,10 @@ _REPLAY_BENCHES = {
     "test_replay_instrumented",
     "test_replay_columnar",
     "test_replay_fig15_micro_columnar",
+    "test_replay_fig15_micro_nemo_batched",
+    "test_replay_fig15_micro_nemo_columnar",
     "test_replay_fig15_micro_sharded",
+    "test_replay_fig15_micro_sharded_forced",
 }
 
 #: fig12 micro-cell wall-clock (best-of-2 seconds, reference dev machine)
@@ -86,6 +90,14 @@ _PRE_VECTORIZATION_CELL_SECONDS = {
 #: decision passes, precomputed placement offsets).  The batched lane
 #: itself benefits — engines now consume one vectorised offset column
 #: instead of re-hashing per request.
+#:
+#: NOTE on sub-1.0 ratios: these references and the current timings
+#: come from different sessions of a shared box whose wall-clock
+#: wobbles by 30-40% (a stored FW ``speedup_vs_pre_columnar`` of 0.87
+#: re-measured at 1.23 the next day on identical code).  Treat a ratio
+#: within that band as box noise, not a regression; the hard gates are
+#: the ``floor_requests_per_sec`` ratchets in ``check_regression.py``,
+#: which compare like-for-like within one recording session.
 _PRE_COLUMNAR_CELL_SECONDS = {
     "Log": 0.0593,
     "Set": 0.4189,
@@ -175,6 +187,14 @@ def save_replay() -> None:
         payload["speedup_columnar_over_batched"] = (
             fast["min_s"] / columnar["min_s"]
         )
+    nemo_batched = benches.get("test_replay_fig15_micro_nemo_batched")
+    nemo_columnar = benches.get("test_replay_fig15_micro_nemo_columnar")
+    if nemo_batched and nemo_columnar:
+        nemo_speedup = nemo_batched["min_s"] / nemo_columnar["min_s"]
+        payload["speedup_nemo_columnar_over_batched"] = nemo_speedup
+        nemo_columnar.setdefault("extra_info", {})[
+            "speedup_vs_batched"
+        ] = nemo_speedup
     speedups = {}
     for name, before_s in _PRE_COLUMNAR_REPLAY_SECONDS.items():
         record = benches.get(name)

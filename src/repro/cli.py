@@ -208,15 +208,18 @@ def replay_main(argv: list[str]) -> int:
     Selects the replay kernel (``batched``, ``columnar``, ``scalar``)
     and, with ``--shards N``, splits the trace into N deterministic
     shards replayed across worker processes and merged exactly —
-    byte-identical metrics to the serial run.  An engine/trace/kernel
-    combination the sharded lane cannot replay is a hard error here
-    (no silent serial fallback — a caller asking for shards wants
-    parallel replay, not a quiet slowdown)::
+    byte-identical metrics to the serial run.  An engine with no
+    registered whole-trace kernel is a hard error under ``--shards``
+    (nothing can replay its shards); engines whose kernel exists but
+    whose analytic sharding lane doesn't (Nemo, a wrapping Log trace)
+    demote to the serial whole-trace kernel and say so — every demotion
+    note the harness emits is printed as a ``warning:`` line::
 
         python -m repro replay --engine log --kernel columnar --shards 4
         python -m repro replay --engine all --kernel columnar
     """
-    from repro.harness.parallel import replay_sharded, sharding_eligible
+    from repro.harness.columnar import kernel_ineligible_reason
+    from repro.harness.parallel import replay_sharded
     from repro.harness.runner import REPLAY_KERNELS
 
     parser = argparse.ArgumentParser(
@@ -282,13 +285,13 @@ def replay_main(argv: list[str]) -> int:
     for name in names:
         engine = build_engine(name, geometry, args)
         if args.shards > 1:
-            if not sharding_eligible(engine, trace):
+            reason = kernel_ineligible_reason(engine, trace, None)
+            if reason is not None:
                 parser.error(
                     f"--shards {args.shards}: engine {engine.name!r} on "
-                    f"trace {trace.name!r} is not eligible for the "
-                    "sharded lane (sharding_eligible rejected it — only "
-                    "the eviction-free log engine shards); run without "
-                    "--shards for the serial columnar-with-bail lane"
+                    f"trace {trace.name!r} has no whole-trace kernel to "
+                    f"replay shards with ({reason}); run without "
+                    "--shards for the batched lane"
                 )
             result = replay_sharded(
                 engine,
@@ -307,6 +310,8 @@ def replay_main(argv: list[str]) -> int:
                 kernel=args.kernel,
                 progress=args.progress,
             )
+        for note in result.notes:
+            print(f"warning: {engine.name}: {note}")
         rows.append(
             [
                 engine.name,

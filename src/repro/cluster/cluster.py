@@ -4,17 +4,23 @@
 own flash device — behind the seeded consistent-hash router.  One
 replay proceeds in three deterministic steps:
 
-1. **Route once, columnar** — the router maps the whole key column to
-   shard owners in one vectorised pass, and the trace is split into
+1. **Route once, hash once** — the router maps the whole key column to
+   shard owners in one vectorised pass, the trace is split into
    per-shard sub-traces that preserve the global request order within
-   each shard.
+   each shard, and the parent runs the *single* placement-hash pass
+   (``Trace.columns`` for the shared shard-engine spec), shipping each
+   shard its pre-sliced :class:`~repro.workloads.trace.TraceColumns`.
 2. **Replay shards concurrently** — each shard is one
    :class:`~repro.harness.parallel.Cell` shipped to a worker process
    (``run_cells`` fan-out, spawn-safe): the worker rebuilds its engine
-   from a descriptor, wraps it with the tenant meter, and runs the
-   ordinary serial :func:`~repro.harness.runner.replay` over its
-   sub-trace, sampling *raw integer counters* at the shard-local image
-   of every global sample boundary.
+   from a descriptor, adopts the shipped hash columns (no per-worker
+   rehash), wraps it with the tenant meter, and runs the ordinary
+   serial :func:`~repro.harness.runner.replay` over its sub-trace —
+   which dispatches to the engine's registered whole-trace columnar
+   kernel (``KERNEL_REGISTRY``: Log, Nemo) when the shard is eligible,
+   so ``kernel="columnar"`` with ``meter=False`` runs Nemo shards on
+   the fast lane — sampling *raw integer counters* at the shard-local
+   image of every global sample boundary.
 3. **Merge exactly** — the parent folds per-shard counters in shard
    order (independent of ``jobs``), rebuilds every derived ratio
    through the real ``FlashStats`` / ``EngineCounters`` arithmetic
@@ -62,7 +68,7 @@ from repro.harness.metrics import MetricSeries
 from repro.harness.parallel import Cell, run_cells
 from repro.harness.percentile import LatencyRecorder
 from repro.harness.runner import replay
-from repro.workloads.trace import Trace
+from repro.workloads.trace import Trace, TraceColumns
 
 #: Raw integer metrics each shard samples; every derived ratio the
 #: merged snapshot reports is rebuilt from these (never averaged).
@@ -198,12 +204,17 @@ def _replay_shard(
     meter: bool,
     arrival_rate: float,
     kernel: str | None,
+    columns: TraceColumns | None,
 ) -> _ShardOutcome:
     """Shard worker: rebuild the engine, replay the sub-trace serially.
 
     Module-level and argument-picklable, so ``run_cells`` can ship it
     to spawn workers; a pure function of its arguments, so results are
-    independent of job count and execution order.
+    independent of job count and execution order.  ``columns`` is the
+    parent's pre-sliced placement-hash columns for this sub-trace (one
+    splitmix pass over the whole trace instead of one per shard); the
+    rebuilt sub-trace adopts them so neither the batched bulk paths nor
+    a whole-trace kernel rehashes the keys.
     """
     engine: CacheEngine = make_engine(
         engine_name, shard_geometry(zones_per_shard), **engine_params
@@ -213,6 +224,8 @@ def _replay_shard(
         meter_engine = TenantMeterEngine(engine, quotas)
         engine = meter_engine
     trace = Trace(ops=ops, keys=keys, sizes=sizes, name=trace_name)
+    if columns is not None:
+        trace.adopt_columns(columns)
     result = replay(
         engine,
         trace,
@@ -333,6 +346,22 @@ class CacheCluster:
 
         shard_indices = self.route_trace(trace)
         quotas = self.shard_quotas()
+
+        # Hash the whole key column once on the parent.  Every shard
+        # engine shares one configuration, hence one placement-hash
+        # spec; slicing the parent's columns per shard and shipping
+        # them in the cell payload replaces num_shards worker-side
+        # splitmix passes with this single one.
+        probe = make_engine(
+            self.config.engine,
+            shard_geometry(self.config.zones_per_shard),
+            **dict(self.config.engine_params),
+        )
+        spec = probe.columnar_spec()
+        parent_cols = (
+            trace.columns(spec[0], spec[1]) if spec is not None else None
+        )
+
         cells: list[Cell] = []
         local_points: list[np.ndarray] = []
         for sid, idx in zip(self.router.shard_ids, shard_indices):
@@ -340,6 +369,14 @@ class CacheCluster:
             # this shard's requests strictly before the boundary.
             local = np.searchsorted(idx, points_arr, side="left")
             local_points.append(local)
+            shard_cols = None
+            if parent_cols is not None:
+                shard_cols = TraceColumns(
+                    seed=parent_cols.seed,
+                    num_sets=parent_cols.num_sets,
+                    hashes=parent_cols.hashes[idx],
+                    set_ids=parent_cols.set_ids[idx],
+                )
             cells.append(
                 Cell(
                     cell_id=f"{trace.name}:cluster-shard{sid}",
@@ -359,6 +396,7 @@ class CacheCluster:
                         meter,
                         arrival_rate,
                         kernel,
+                        shard_cols,
                     ),
                 )
             )
@@ -370,11 +408,6 @@ class CacheCluster:
         shard_samples: list[dict[int, dict[str, float]]] = [
             dict(oc.points) for oc in outcomes
         ]
-        probe = make_engine(
-            self.config.engine,
-            shard_geometry(self.config.zones_per_shard),
-            **dict(self.config.engine_params),
-        )
         series = {m: MetricSeries(name=m) for m in sampled_metrics}
         merged_final: dict[str, float] = {}
         for j, p in enumerate(points):

@@ -473,9 +473,11 @@ class NemoCache(CacheEngine):
         return removed
 
     def object_count(self) -> int:
-        return self.queue.object_count() + sum(
-            len(s) for fsg in self.pool for s in fsg.sets
-        )
+        count = self.queue.object_count()
+        for fsg in self.pool:
+            # Flash sets are plain dicts: sum(map(len, ...)) stays in C.
+            count += sum(map(len, fsg.sets))
+        return count
 
     def memory_overhead_breakdown(self) -> dict[str, float]:
         """Table 6 accounting for Nemo, per component (bits/object).

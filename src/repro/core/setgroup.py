@@ -129,7 +129,9 @@ class SetGroup:
         return sum(s.used_bytes for s in self.sets)
 
     def object_count(self) -> int:
-        return sum(len(s) for s in self.sets)
+        # Bypass InMemorySet.__len__ dispatch: metric snapshots call
+        # this once per sample point over every set.
+        return sum(len(s.objects) for s in self.sets)
 
     def fill_rate(self) -> float:
         """Aggregate fill of all constituent sets (the paper's FR_SG)."""

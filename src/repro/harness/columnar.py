@@ -1,11 +1,11 @@
-"""Whole-trace columnar replay kernel (DESIGN.md §5).
+"""Whole-trace columnar replay kernels (DESIGN.md §5).
 
 # reprolint: columnar-kernel-zone
 
 The batched lane (``harness/runner.py``) still walks every request in a
 Python loop inside the engines' bulk methods; that caps replay at ~2M
 req/s.  This module processes an entire trace as numpy column passes
-against the Log engine, split into the two phases the columnar contract
+against an engine, split into the two phases the columnar contract
 requires:
 
 - **Decision pass** (vectorised, loop-free): classify every GET as
@@ -28,14 +28,14 @@ The engine remains the source of truth: every sampled metric comes from
 lookup counters, so the lane is byte-identical to the batched lane (the
 parity goldens compare all three lanes).
 
-Correctness boundaries (the kernel *refuses* rather than approximates):
+Correctness boundaries (the kernels *refuse* rather than approximate):
 
-- Only a virgin :class:`LogStructuredCache` on a latency-free device,
-  with no fault plan and no oversized objects, is eligible
-  (:func:`log_kernel_eligible`); anything else replays on the batched
-  lane.
-- The decision pass assumes no engine-driven eviction: evicting a key
-  would turn its next GET from a (classified) hit into a miss.  The
+- Only a virgin engine on a latency-free device, with no fault plan and
+  no oversized objects, is eligible (:func:`kernel_ineligible_reason`
+  consults the per-engine :data:`KERNEL_REGISTRY`); anything else
+  replays on the batched lane.
+- The Log decision pass assumes no engine-driven eviction: evicting a
+  key would turn its next GET from a (classified) hit into a miss.  The
   flush schedule is exact, so evictions can only happen at predicted
   flush points; once the flush ordinal reaches the page count (the
   first flush that *can* recycle a zone), runs fall back to the exact
@@ -45,17 +45,27 @@ Correctness boundaries (the kernel *refuses* rather than approximates):
   the remaining suffix back to the batched lane mid-replay.  Wrapping
   workloads therefore replay as a columnar prefix + batched suffix,
   still byte-identical.
+- The Nemo kernel (:func:`replay_nemo_columnar`) runs its own compact
+  mutation loop over insert events with a vectorised settle of every
+  lookup-side counter between state changes; it repairs the decision
+  columns in place when delayed-flush evictions invalidate them, and
+  bails to the batched lane at the first SG-pool eviction (a blocked
+  insert with no free SG zones left).
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import cast
+from heapq import heappop, heappush
+from typing import Any, Callable, cast
 
 import numpy as np
 
 from repro.baselines.log_structured import LogStructuredCache
+from repro.core.flusher import FlushDecision
+from repro.core.nemo import NemoCache
+from repro.errors import EngineStateError
 from repro.faults.plan import FaultPlan
 from repro.harness.metrics import MetricSeries, WindowedRate
 from repro.harness.percentile import LatencyRecorder
@@ -79,36 +89,49 @@ class ColumnarOutcome:
     completed: bool
 
 
-def log_kernel_eligible(
+def log_kernel_ineligible_reason(
     engine: object, trace: Trace, faults: FaultPlan | None
-) -> bool:
-    """Whether the whole-trace Log kernel may replay this combination.
+) -> str | None:
+    """Why the whole-trace Log kernel may *not* replay this combination.
 
     The kernel's decision pass assumes it observes every state change,
     so the engine must start empty; latency models and fault plans need
-    per-request treatment and stay on the batched lane.
+    per-request treatment and stay on the batched lane.  Returns None
+    when the kernel is eligible.
     """
     if type(engine) is not LogStructuredCache:
-        return False
-    if faults is not None or engine.device.latency is not None:
-        return False
+        return f"the Log kernel only replays LogStructuredCache, not {type(engine).__name__}"
+    if faults is not None:
+        return "fault plans need per-request NAND hooks"
+    if engine.device.latency is not None:
+        return "latency models need per-request timing"
     counters = engine.counters
-    if counters.lookups or counters.inserts or counters.deletes:
-        return False
-    if engine.object_count() or engine._buffer_bytes:
-        return False
-    stats = engine.stats
-    if stats.host_write_bytes or stats.logical_write_bytes:
-        return False
+    if (
+        counters.lookups
+        or counters.inserts
+        or counters.deletes
+        or engine.object_count()
+        or engine._buffer_bytes
+        or engine.stats.host_write_bytes
+        or engine.stats.logical_write_bytes
+    ):
+        return "the engine is not virgin (the decision pass must observe every state change)"
     n = len(trace)
     if n == 0:
-        return False
+        return "empty trace"
     max_stored = int(trace.sizes.max()) + engine.object_header_bytes
     if max_stored > engine.geometry.page_size:
         # An oversized object must raise at its exact request position;
         # only the per-request lanes can do that.
-        return False
-    return True
+        return "an oversized object must raise at its exact request position"
+    return None
+
+
+def log_kernel_eligible(
+    engine: object, trace: Trace, faults: FaultPlan | None
+) -> bool:
+    """Whether the whole-trace Log kernel may replay this combination."""
+    return log_kernel_ineligible_reason(engine, trace, faults) is None
 
 
 def _flush_schedule(ins_stored: np.ndarray, page_size: int) -> np.ndarray:
@@ -583,3 +606,749 @@ def replay_log_columnar(
     return ColumnarOutcome(
         resume_pos=n, now_us=float(clock[n - 1]) if n else 0.0, completed=True
     )
+
+
+# ======================================================================
+# Nemo whole-trace kernel
+# ======================================================================
+
+@dataclass(frozen=True)
+class _NemoChain:
+    """Per-key occurrence chains, cached per trace (engine-independent).
+
+    ``occ_sorted`` lists every request position stably sorted by key,
+    so one key's occurrences form a contiguous ascending run;
+    ``run_bounds`` maps each key to its ``[lo, hi)`` rank slice.  The
+    Nemo kernel walks these chains to repair its decision columns when
+    a delayed-flush eviction invalidates the hit classification for one
+    key's future requests.
+    """
+
+    get_pos: np.ndarray
+    hit_pos: np.ndarray
+    occ_sorted: np.ndarray
+    run_bounds: dict[int, tuple[int, int]]
+
+
+def _nemo_chain(trace: Trace, links: _TraceLinks) -> _NemoChain:
+    cached = trace._kernel_cache.get("nemo-chain")
+    if cached is not None:
+        return cast(_NemoChain, cached)
+    keys = trace.keys
+    n = len(trace)
+    sort_idx = np.argsort(keys, kind="stable").astype(np.int64)
+    sorted_keys = keys[sort_idx]
+    starts_mask = np.ones(n, dtype=bool)
+    starts_mask[1:] = sorted_keys[1:] != sorted_keys[:-1]
+    starts = np.flatnonzero(starts_mask)
+    ends = np.append(starts[1:], n)
+    run_bounds = dict(
+        zip(
+            sorted_keys[starts].tolist(),
+            zip(starts.tolist(), ends.tolist()),
+        )
+    )
+    chain = _NemoChain(
+        get_pos=np.flatnonzero(trace.ops == OP_GET),
+        hit_pos=np.flatnonzero(links.hit),
+        occ_sorted=sort_idx,
+        run_bounds=run_bounds,
+    )
+    trace._kernel_cache["nemo-chain"] = chain
+    return chain
+
+
+def _nemo_ins_offsets(
+    trace: Trace, links: _TraceLinks, seed: int, sets_per_sg: int
+) -> list[int]:
+    """Intra-SG set offset per insert event (cached per placement)."""
+    cache_key = ("nemo-ins-offs", seed, sets_per_sg)
+    cached = trace._kernel_cache.get(cache_key)
+    if cached is not None:
+        return cast("list[int]", cached)
+    col = trace.columns(seed, sets_per_sg).set_ids
+    offs = cast("list[int]", col[links.ins_pos].tolist())
+    trace._kernel_cache[cache_key] = offs
+    return offs
+
+
+def nemo_kernel_ineligible_reason(
+    engine: object, trace: Trace, faults: FaultPlan | None
+) -> str | None:
+    """Why the whole-trace Nemo kernel may *not* replay this combination.
+
+    Mirrors :func:`log_kernel_ineligible_reason`: virgin engine,
+    latency-free device, no fault plan, no oversized objects.  Returns
+    None when the kernel is eligible.
+    """
+    if type(engine) is not NemoCache:
+        return f"the Nemo kernel only replays NemoCache, not {type(engine).__name__}"
+    if faults is not None:
+        return "fault plans need per-request NAND hooks"
+    if engine.device.latency is not None:
+        return "latency models need per-request timing"
+    counters = engine.counters
+    if (
+        counters.lookups
+        or counters.inserts
+        or counters.deletes
+        or engine.pool
+        or engine.flush_policy.blocked_inserts
+        or engine.object_count()
+        or engine.stats.host_write_bytes
+        or engine.stats.logical_write_bytes
+    ):
+        return "the engine is not virgin (the decision pass must observe every state change)"
+    n = len(trace)
+    if n == 0:
+        return "empty trace"
+    if int(trace.sizes.max()) > engine.set_size:
+        return "an oversized object must raise at its exact request position"
+    return None
+
+
+def nemo_kernel_eligible(
+    engine: object, trace: Trace, faults: FaultPlan | None
+) -> bool:
+    """Whether the whole-trace Nemo kernel may replay this combination."""
+    return nemo_kernel_ineligible_reason(engine, trace, faults) is None
+
+
+def replay_nemo_columnar(
+    engine: NemoCache,
+    trace: Trace,
+    *,
+    boundaries: list[int],
+    sample_points: set[int],
+    mark_window_at: int | None,
+    series: dict[str, MetricSeries],
+    sampled_metrics: tuple[str, ...],
+    latency: LatencyRecorder,
+    record_latency: bool,
+    write_rate: WindowedRate | None,
+    step_us: float,
+    progress: bool,
+    progress_every: int,
+    sample_every: int,
+) -> ColumnarOutcome:
+    """Replay ``trace`` on the whole-trace Nemo kernel.
+
+    Caller guarantees :func:`nemo_kernel_eligible` returned True.
+
+    The mutation loop visits only *state changes* — insert events
+    (SETs + read-through misses), deletes, flush decisions — and keeps a
+    placement column ``sg_arr`` recording which SG holds each event's
+    object.  Everything lookup-side settles vectorially per segment
+    from the cached prefix sums: a GET is a memory hit iff its placing
+    event's SG has not been flushed, a flash hit otherwise, and the
+    consulting GETs' false-positive draws replay the engine's RNG
+    stream exactly (batch draw, rewind via ``getstate``/``setstate`` at
+    each FP so the interleaved ``randrange`` consumes the same
+    sequence).
+
+    Delayed-flush evictions are the one event the decision columns
+    cannot predict.  When the walk evicts a live key it *repairs* the
+    columns for that key's future requests in place: if a stale flash
+    copy survives, its next GETs stay hits served from that copy (the
+    placement column is re-pointed at the flash holder and the stored
+    size re-read); if no copy survives, the next GET is really a
+    read-through miss — the kernel schedules a scalar *injection* at
+    that exact position and excludes it from the vector settle.  SG-pool
+    evictions (a blocked insert with no free SG zones) bail to the
+    batched lane instead, before any policy state mutates.
+    """
+    n = len(trace)
+    ops = trace.ops
+    keys_arr = trace.keys
+    sizes_arr = trace.sizes
+    config = engine.config
+
+    # ------------------------------------------------------------------
+    # Decision pass (vectorised; cached across replays)
+    # ------------------------------------------------------------------
+    links = _trace_links(trace)
+    chain = _nemo_chain(trace, links)
+    clock = _clock(trace, step_us)
+    col = trace.columns(config.hash_seed, engine.sets_per_sg).set_ids
+
+    get_pos = chain.get_pos
+    hit_pos = chain.hit_pos
+    occ_sorted = chain.occ_sorted
+    run_bounds = chain.run_bounds
+    hit_b = links.hit
+    last_ev = links.last_ev
+    cum_get = links.cum_get
+    cum_hit = links.cum_hit
+    cum_ins = links.cum_ins
+    cum_ins_bytes = links.cum_ins_bytes
+
+    ins_pos_list = links.ins_pos_list
+    ins_keys = links.ins_keys
+    ins_sizes = links.ins_sizes
+    ins_offs = _nemo_ins_offsets(trace, links, config.hash_seed, engine.sets_per_sg)
+    n_ins = len(ins_pos_list)
+    del_pos_list = links.del_pos_list
+    del_keys = links.del_keys
+    n_del = len(del_pos_list)
+
+    # Stored size served by each classified hit (writable: eviction
+    # repairs patch it to the surviving flash copy's stored size).
+    rs = np.zeros(n, dtype=np.int64)
+    rs[hit_pos] = sizes_arr[last_ev[hit_pos]]
+    # Placement column: sg_id holding the object after each insert
+    # event, written by the walk as placements happen.  A hit is served
+    # from memory iff its placing event's SG has not been flushed.
+    sg_arr = np.full(n, -1, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Engine handles (hot-path locals)
+    # ------------------------------------------------------------------
+    counters = engine.counters
+    stats = engine.stats
+    device = engine.device
+    queue = engine.queue
+    flush_policy = engine.flush_policy
+    hotness = engine.hotness
+    index_pool = engine.index_pool
+    pool_dq = engine.pool
+    flash_index = engine._flash_index
+    pool_map = engine._pool_map
+    free_zones = engine._free_sg_zones
+    zones_per_sg = engine.zones_per_sg
+    set_size = engine.set_size
+    page_size = engine.geometry.page_size
+    fp_rate = config.bf_false_positive_rate
+    window_sgs = engine._window_sgs
+    use_real_filters = config.use_real_filters
+    rng = engine._rng
+    rng_random = rng.random
+    flash_lookup = engine._flash_lookup
+    record_access = hotness.record_access
+    OP_GET_ = OP_GET
+
+    sgs = list(queue._queue)
+    F = 0  # flushed SGs == len(engine.pool); pool never shrinks pre-bail
+    seg_start = 0  # settle watermark: requests below it are accounted
+    rpos = 0  # read-settle watermark (lags seg_start when deferring)
+    sched: list[int] = []  # pending injection positions (min-heap)
+    pending_inj: dict[int, tuple[int, int]] = {}  # pos -> (key, carrier)
+
+    # Read-side accounting (flash-consult RNG stream, page-read
+    # counters, hotness bits) is engine state nothing reads between
+    # state-change events, so it can settle per *epoch* (flush / delete
+    # / eviction / injection boundaries — a handful per trace) instead
+    # of per sample boundary.  Only legal when no sampled series would
+    # observe the deferred counters mid-epoch.
+    defer_reads = {
+        "host_read_bytes",
+        "host_read_ops",
+        "flash_read_bytes",
+        "false_positive_reads",
+        "pbfg_pool_read_ratio",
+    }.isdisjoint(sampled_metrics)
+
+    # ------------------------------------------------------------------
+    # Column repair after a delayed-flush eviction
+    # ------------------------------------------------------------------
+    def dirty(key: int, t: int) -> None:
+        """Repair the decision columns after ``key`` left memory at ``t``."""
+        # Settle everything before the eviction first: requests below
+        # ``t`` saw the key in memory, and the repairs below re-point
+        # the shared carrier entry, which would misclassify them.
+        settle(t)
+        read_settle(t)
+        lo, hi = run_bounds[key]
+        occ = occ_sorted[lo:hi]
+        i = int(np.searchsorted(occ, t, side="right")) - 1
+        carrier = int(last_ev[occ[i]])
+        holder_id = flash_index.get(key)
+        if holder_id is not None:
+            # A stale flash copy survives: future GETs stay hits, served
+            # from the holder SG at the copy's stored size.
+            sg_arr[carrier] = holder_id
+            stored = pool_map[holder_id].sets[int(col[occ[i]])][key]
+            j = i + 1
+            # Per-occurrence repair walk: bounded by this key's future
+            # GET-hit run, not the trace.
+            # reprolint: disable=R008
+            while j < hi - lo:
+                p = int(occ[j])
+                if ops[p] != OP_GET_ or not hit_b[p]:
+                    break
+                rs[p] = stored
+                j += 1
+            return
+        # No copy anywhere: the key's next classified hit is really a
+        # read-through miss.  Handle that one request scalar, in place.
+        if i + 1 < hi - lo:
+            q = int(occ[i + 1])
+            if ops[q] == OP_GET_ and hit_b[q]:
+                heappush(sched, q)
+                pending_inj[q] = (key, carrier)
+
+    # ------------------------------------------------------------------
+    # Vectorised per-segment settle of all lookup-side accounting
+    # ------------------------------------------------------------------
+    def settle(b: int) -> None:
+        """Account requests [seg_start, b) exactly as ``lookup_many``.
+
+        Totals (lookups/hits/inserts/bytes) come from the cached prefix
+        sums; hit read-bytes and the memory-vs-flash split from the
+        placement column.  Consulting GETs (misses + flash hits while
+        the pool is non-empty) replay the engine's false-positive RNG
+        stream draw-for-draw.  With real filters or live index groups
+        the consults run through the real ``_flash_lookup`` instead
+        (exact lane) — page-level index traffic is state-dependent
+        there.
+        """
+        nonlocal seg_start
+        a = seg_start
+        if b <= a:
+            return
+        seg_start = b
+        n_get = int(cum_get[b] - cum_get[a])
+        n_hit = int(cum_hit[b] - cum_hit[a])
+        counters.lookups += n_get
+        counters.hits += n_hit
+        ins_bytes = int(cum_ins_bytes[b] - cum_ins_bytes[a])
+        counters.inserts += int(cum_ins[b] - cum_ins[a])
+        counters.insert_bytes += ins_bytes
+        stats.logical_write_bytes += ins_bytes
+        if not n_get:
+            return
+        if record_latency:
+            # Latency-free device: every GET records 0.0, in order.
+            latency.record_many([0.0] * n_get)
+        if n_hit:
+            lo = int(np.searchsorted(hit_pos, a, side="left"))
+            hp = hit_pos[lo : lo + n_hit]
+            stats.logical_read_bytes += int(rs[hp].sum())
+        if not defer_reads:
+            read_settle(b)
+
+    def read_settle(b: int) -> None:
+        """Settle the flash-consult side of requests [rpos, b).
+
+        Every ``F`` change (a flush) and every event that observes or
+        reorders this state (delete, eviction repair, injection, bail)
+        forces a read-settle first, so each deferred span runs under one
+        constant pool depth and pre-repair placement column.
+        """
+        nonlocal rpos
+        a = rpos
+        if b <= a:
+            return
+        rpos = b
+        if not F:
+            return
+        n_get = int(cum_get[b] - cum_get[a])
+        if not n_get:
+            return
+        n_hit = int(cum_hit[b] - cum_hit[a])
+        hp = sg = mem = None
+        # Consulting GETs: every miss, plus flash hits.  n_scanned per
+        # consult matches _candidates: F for a miss, F-1-holder for a
+        # flash hit, -1 marks memory hits (no consult).
+        glo = int(np.searchsorted(get_pos, a, side="left"))
+        gp = get_pos[glo : glo + n_get]
+        ns = np.full(n_get, F, dtype=np.int64)
+        if n_hit:
+            lo = int(np.searchsorted(hit_pos, a, side="left"))
+            hp = hit_pos[lo : lo + n_hit]
+            sg = sg_arr[last_ev[hp]]
+            mem = sg >= F
+            ns[np.searchsorted(gp, hp)] = np.where(mem, -1, F - 1 - sg)
+        if use_real_filters or index_pool.live_group_count():
+            # Exact lane: per-consult index traffic is state-dependent
+            # (real BF membership, index-cache FIFO, pool reads), so
+            # each consulting GET goes through the real engine path in
+            # request order.  Hits/bytes stayed vectorised above.
+            pool0 = pool_dq[0].sg_id
+            # reprolint: disable=R008
+            for p in gp[ns >= 0].tolist():
+                key = int(keys_arr[p])
+                off = int(col[p])
+                holder, _reads, _lat = flash_lookup(key, off, 0.0)
+                if holder is not None:
+                    record_access(
+                        key,
+                        off,
+                        in_window=(holder.sg_id - pool0) < window_sgs,
+                    )
+            return
+        # Fast lane (statistical filters, no live index groups): the
+        # only per-consult state is the FP RNG stream and the page-read
+        # counters.
+        engine.pbfg_lookups += int((ns >= 0).sum())
+        n_flash_hits = int((~mem).sum()) if n_hit else 0
+        draws_needed = ns[ns > 0]
+        thresh = draws_needed.astype(np.float64) * fp_rate
+        n_draws = len(thresh)
+        n_fp = 0
+        pos0 = 0
+        # FP replay: draw the remaining stream in one batch; at the
+        # first FP rewind, consume exactly the draws the engine would
+        # have (the FP's random() + its randrange) and re-batch.  One
+        # iteration per false positive, not per request.
+        # reprolint: disable=R008
+        while pos0 < n_draws:
+            state = rng.getstate()
+            batch = np.asarray([rng_random() for _ in range(n_draws - pos0)])
+            fp_rel = np.flatnonzero(batch < thresh[pos0:])
+            if not len(fp_rel):
+                break
+            i = int(fp_rel[0])
+            rng.setstate(state)
+            # reprolint: disable=R008
+            for _ in range(i + 1):
+                rng_random()
+            rng.randrange(F)
+            n_fp += 1
+            pos0 += i + 1
+        if n_fp:
+            engine.false_positive_reads += n_fp
+        pages_read = n_flash_hits + n_fp
+        if pages_read:
+            # Candidate + FP page reads, batched like zns.read_pages
+            # (pages are programmed by construction: every flash hit's
+            # holder SG and every FP page live in the pool).
+            device.nand.read_count += pages_read
+            nbytes = page_size * pages_read
+            stats.host_read_bytes += nbytes
+            stats.host_read_ops += pages_read
+            stats.flash_read_bytes += nbytes
+        if n_flash_hits:
+            assert hp is not None and sg is not None and mem is not None
+            fh = hp[~mem]
+            hotness.record_access_array(
+                keys_arr[fh], col[fh], sg[~mem] < window_sgs
+            )
+
+    # ``object_count`` is the one snapshot key that scans every set
+    # (O(sets) per sample point); when it is not sampled, build the
+    # same snapshot without it.  The key set and every formula below
+    # mirror ``NemoCache.metrics_snapshot`` — the metric-parity suite
+    # compares sampled series across lanes, so drift fails loudly.
+    sample_object_count = "object_count" in sampled_metrics
+
+    def sample_at(stop: int, now_us: float) -> None:
+        if sample_object_count:
+            snap = engine.metrics_snapshot()
+        else:
+            snap = stats.snapshot()
+            snap.update(
+                {
+                    "lookups": counters.lookups,
+                    "hits": counters.hits,
+                    "miss_ratio": counters.miss_ratio,
+                    "inserts": counters.inserts,
+                    "evicted_objects": counters.evicted_objects,
+                    "wa": engine.write_amplification,
+                    "mean_fill_rate": engine.mean_fill_rate(),
+                    "mean_new_fill_rate": engine.mean_new_fill_rate(),
+                    "pool_sgs": len(pool_dq),
+                    "writeback_objects": engine.writeback_objects,
+                    "early_evicted_objects": engine.early_evicted_objects,
+                    "pbfg_pool_read_ratio": engine.pbfg_pool_read_ratio(),
+                    "false_positive_reads": engine.false_positive_reads,
+                    "index_cache_pages": len(engine.index_cache),
+                }
+            )
+        # Per-metric (not per-request) loop over the handful of sampled
+        # series names.
+        # reprolint: disable=R008
+        for metric in sampled_metrics:
+            series[metric].record(stop, snap.get(metric, float("nan")))
+        if write_rate is not None:
+            write_rate.update(now_us / 1e6, snap["host_write_bytes"])
+        if progress and stop % progress_every < sample_every:
+            print(
+                f"  [{engine.name}] {stop:,}/{n:,} "
+                f"wa={snap.get('wa', float('nan')):.2f} "
+                f"miss={snap.get('miss_ratio', float('nan')):.3f}"
+            )
+
+    # ------------------------------------------------------------------
+    # Blocked-insert slow path (eviction, flush, or bail)
+    # ------------------------------------------------------------------
+    def blocked_insert(key: int, size: int, off: int, t: int) -> int | None:
+        """Mirror ``_insert_blocked``; returns the placement sg_id.
+
+        Returns None to bail: an SG-pool eviction is imminent (no free
+        SG zones), which would invalidate the whole classification —
+        the batched lane redoes this request from untouched policy
+        state, so nothing may mutate before the bail.
+        """
+        nonlocal F, sgs
+        if len(free_zones) < zones_per_sg:
+            return None
+        decision = flush_policy.decide()
+        if decision is FlushDecision.MAKE_ROOM:
+            front = sgs[0]
+            evicted = front.evict_from_set(off, size)
+            # reprolint: disable=R008
+            for k2, s2 in evicted:
+                engine.early_evicted_objects += 1
+                engine.early_evicted_bytes += s2
+                counters.evicted_objects += 1
+                counters.evicted_bytes += s2
+                dirty(k2, t)
+            if not front.try_insert(off, key, size):
+                raise EngineStateError("insert failed after making room")
+            return front.sg_id
+        # FLUSH: settle through this request first — its lookup side
+        # (a read-through miss consulted the pool *before* inserting)
+        # must account against the pre-flush pool.
+        settle(t + 1)
+        read_settle(t + 1)
+        engine._flush_front(now_us=float(clock[t - 1]) if t else 0.0)
+        sgs = list(queue._queue)
+        F = len(pool_dq)
+        # reprolint: disable=R008
+        for sg in sgs:
+            tset = sg.sets[off]
+            if tset.used_bytes + size <= set_size:
+                tset.objects[key] = size
+                tset.used_bytes += size
+                sg.new_bytes_in += size
+                return sg.sg_id
+        raise EngineStateError("insert failed after flushing the front SG")
+
+    # ------------------------------------------------------------------
+    # Mutation loop: insert events, deletes, injections, chunk by chunk
+    # ------------------------------------------------------------------
+    ii = 0  # next insert event
+    di = 0  # next delete event
+    next_ins = ins_pos_list[0] if n_ins else n
+    next_del = del_pos_list[0] if n_del else n
+    start = 0
+    # Chunk loop: one iteration per sample boundary, not per request.
+    # reprolint: disable=R008
+    for stop in boundaries:
+        if stop > start:
+            # Event walker: one iteration per state change (insert
+            # event, delete, injection), not per request.
+            # reprolint: disable=R008
+            while True:
+                t = next_ins
+                kind = 0
+                if next_del < t:
+                    t = next_del
+                    kind = 1
+                if sched and sched[0] < t:
+                    t = sched[0]
+                    kind = 2
+                if t >= stop:
+                    break
+                if kind == 0:
+                    # Insert event: inline SetGroupQueue.try_insert,
+                    # recording the placement in sg_arr.  The queue's
+                    # membership pass checks every SG before placing, so
+                    # the fused walk collects the first SG with room on
+                    # the same pass it proves the key absent.
+                    key = ins_keys[ii]
+                    size = ins_sizes[ii]
+                    off = ins_offs[ii]
+                    ii += 1
+                    next_ins = ins_pos_list[ii] if ii < n_ins else n
+                    fit = None
+                    # reprolint: disable=R008
+                    for sg in sgs:
+                        tset = sg.sets[off]
+                        obj = tset.objects
+                        if key in obj:
+                            # In-place update (keeps dict position).
+                            sg_arr[t] = sg.sg_id
+                            old = obj[key]
+                            obj[key] = size
+                            ub = tset.used_bytes + size - old
+                            tset.used_bytes = ub
+                            sg.new_bytes_in += size
+                            if ub > set_size:
+                                # Oversized replacement: shed FIFO
+                                # (silent, as SetGroup.try_insert).
+                                # reprolint: disable=R008
+                                while tset.used_bytes > set_size:
+                                    k2 = next(iter(obj))
+                                    tset.used_bytes -= obj.pop(k2)
+                                    dirty(k2, t)
+                            break
+                        if fit is None and tset.used_bytes + size <= set_size:
+                            fit = (sg, tset, obj)
+                    else:
+                        if fit is not None:
+                            sg, tset, obj = fit
+                            obj[key] = size
+                            tset.used_bytes += size
+                            sg.new_bytes_in += size
+                            sg_arr[t] = sg.sg_id
+                        else:
+                            placed = blocked_insert(key, size, off, t)
+                            if placed is None:
+                                settle(t)
+                                read_settle(t)
+                                return ColumnarOutcome(
+                                    resume_pos=t,
+                                    now_us=float(clock[t - 1]),
+                                    completed=False,
+                                )
+                            sg_arr[t] = placed
+                elif kind == 1:
+                    # Deletes discard hotness bits and pool copies, so
+                    # the deferred read side must land first.
+                    settle(t)
+                    read_settle(t)
+                    engine.delete(del_keys[di])
+                    di += 1
+                    next_del = del_pos_list[di] if di < n_del else n
+                else:
+                    # Injection: this position was classified a hit but
+                    # the key was evicted with no surviving flash copy —
+                    # run the one request scalar (real lookup, manual
+                    # read-through accounting) and exclude it from the
+                    # vector settle.
+                    heappop(sched)
+                    key, carrier = pending_inj.pop(t)
+                    off = int(col[t])
+                    size = int(sizes_arr[t])
+                    room = False
+                    # reprolint: disable=R008
+                    for sg in sgs:
+                        if sg.sets[off].used_bytes + size <= set_size:
+                            room = True
+                            break
+                    if not room and len(free_zones) < zones_per_sg:
+                        # The read-through insert would force an SG-pool
+                        # eviction: bail before any state mutates.
+                        settle(t)
+                        read_settle(t)
+                        return ColumnarOutcome(
+                            resume_pos=t,
+                            now_us=float(clock[t - 1]),
+                            completed=False,
+                        )
+                    settle(t)
+                    read_settle(t)
+                    seg_start = t + 1  # this request settles scalar
+                    rpos = t + 1  # the real lookup consults for itself
+                    res = engine.lookup(
+                        key, size, float(clock[t - 1]) if t else 0.0
+                    )
+                    if res.hit:
+                        raise EngineStateError(
+                            "injected lookup unexpectedly hit"
+                        )
+                    if record_latency:
+                        latency.record(res.latency_us)
+                    counters.inserts += 1
+                    counters.insert_bytes += size
+                    stats.logical_write_bytes += size
+                    placed = None
+                    # Membership pass is vacuous (the key just missed);
+                    # placement pass as in the walk above.
+                    # reprolint: disable=R008
+                    for sg in sgs:
+                        tset = sg.sets[off]
+                        if tset.used_bytes + size <= set_size:
+                            tset.objects[key] = size
+                            tset.used_bytes += size
+                            sg.new_bytes_in += size
+                            placed = sg.sg_id
+                            break
+                    if placed is None:
+                        placed = blocked_insert(key, size, off, t)
+                        if placed is None:  # pragma: no cover - prechecked
+                            raise EngineStateError(
+                                "injection bail after mutation"
+                            )
+                    # Re-point the key's carrier at the new placement
+                    # and repair its future GET-hit run to this size.
+                    sg_arr[carrier] = placed
+                    lo, hi = run_bounds[key]
+                    occ = occ_sorted[lo:hi]
+                    j = int(np.searchsorted(occ, t, side="right"))
+                    # reprolint: disable=R008
+                    while j < hi - lo:
+                        p = int(occ[j])
+                        if ops[p] != OP_GET_ or not hit_b[p]:
+                            break
+                        rs[p] = size
+                        j += 1
+            settle(stop)
+        now_us = float(clock[stop - 1]) if stop else 0.0
+        if stop == mark_window_at:
+            latency.mark_window()
+        if stop in sample_points:
+            sample_at(stop, now_us)
+        start = stop
+
+    read_settle(n)
+    return ColumnarOutcome(
+        resume_pos=n, now_us=float(clock[n - 1]) if n else 0.0, completed=True
+    )
+
+
+# ======================================================================
+# Per-engine kernel registry
+# ======================================================================
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One engine type's whole-trace columnar kernel.
+
+    ``ineligible_reason`` returns a human-readable refusal (or None when
+    the kernel may run); ``replay`` has the common kernel signature and
+    returns a :class:`ColumnarOutcome`.
+    """
+
+    name: str
+    ineligible_reason: Callable[[object, Trace, FaultPlan | None], str | None]
+    replay: Callable[..., ColumnarOutcome]
+
+
+#: Engine type -> whole-trace kernel.  Dispatch (runner, sharded lane,
+#: cluster shards) consults this instead of hardcoding engine checks.
+KERNEL_REGISTRY: dict[type, KernelSpec] = {
+    LogStructuredCache: KernelSpec(
+        name="log",
+        ineligible_reason=log_kernel_ineligible_reason,
+        replay=replay_log_columnar,
+    ),
+    NemoCache: KernelSpec(
+        name="nemo",
+        ineligible_reason=nemo_kernel_ineligible_reason,
+        replay=replay_nemo_columnar,
+    ),
+}
+
+
+def kernel_for(engine: object) -> KernelSpec | None:
+    """The registered whole-trace kernel for this engine type, if any."""
+    return KERNEL_REGISTRY.get(type(engine))
+
+
+def kernel_ineligible_reason(
+    engine: object, trace: Trace, faults: FaultPlan | None
+) -> str | None:
+    """Why no whole-trace kernel will replay this combination (or None).
+
+    Unregistered engine types get a registry-level reason; registered
+    ones defer to their kernel's own eligibility check.
+    """
+    spec = KERNEL_REGISTRY.get(type(engine))
+    if spec is None:
+        registered = ", ".join(
+            sorted(t.__name__ for t in KERNEL_REGISTRY)
+        )
+        return (
+            f"{type(engine).__name__} has no whole-trace columnar kernel "
+            f"(registered: {registered})"
+        )
+    return spec.ineligible_reason(engine, trace, faults)
+
+
+def kernel_eligible(
+    engine: object, trace: Trace, faults: FaultPlan | None
+) -> bool:
+    """Whether any registered whole-trace kernel may replay this combination."""
+    return kernel_ineligible_reason(engine, trace, faults) is None

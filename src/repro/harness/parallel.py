@@ -315,14 +315,23 @@ def _analytic_snapshot(comps: dict[str, int], page_size: int) -> dict[str, float
     return snap
 
 
-def sharding_eligible(engine: CacheEngine, trace: Trace) -> bool:
-    """Whether the analytic sharded lane can replay this combination.
+#: Below this many requests per shard, process fan-out costs more than
+#: it saves (spawn startup alone swamps a tiny trace: the fig15 micro
+#: cell ran ~100x *slower* sharded than serial columnar) — the sharded
+#: lane demotes to the serial whole-trace kernel instead.
+MIN_REQUESTS_PER_SHARD = 32_768
 
-    Requires everything :func:`~repro.harness.columnar.log_kernel_eligible`
-    does *plus* whole-trace eviction-freedom: the trace's total flush
-    count must fit the device (no zone ever recycled), because a wrap
-    would add erase ops and invalidate the hit classification mid-trace.
-    Such traces replay columnar-with-bail serially instead.
+
+def sharding_ineligible_reason(engine: CacheEngine, trace: Trace) -> str | None:
+    """Why the analytic sharded lane may *not* replay this combination.
+
+    Requires everything the whole-trace Log kernel does *plus*
+    whole-trace eviction-freedom: the trace's total flush count must fit
+    the device (no zone ever recycled), because a wrap would add erase
+    ops and invalidate the hit classification mid-trace.  Engines whose
+    registered kernels run a state-dependent mutation walk (Nemo) are
+    not analytically shardable either — per-shard snapshot components
+    must be pure prefix-sum reads.  Returns None when eligible.
     """
     from typing import cast
 
@@ -330,11 +339,15 @@ def sharding_eligible(engine: CacheEngine, trace: Trace) -> bool:
     from repro.harness.columnar import (
         _flush_plan,
         _trace_links,
-        log_kernel_eligible,
+        log_kernel_ineligible_reason,
     )
 
-    if not log_kernel_eligible(engine, trace, None):
-        return False
+    reason = log_kernel_ineligible_reason(engine, trace, None)
+    if reason is not None:
+        return (
+            "per-shard snapshot components must be pure prefix-sum reads, "
+            f"which only the whole-trace Log kernel provides ({reason})"
+        )
     log = cast(LogStructuredCache, engine)  # narrowed by eligibility
     plan = _flush_plan(
         trace,
@@ -342,7 +355,17 @@ def sharding_eligible(engine: CacheEngine, trace: Trace) -> bool:
         log.geometry.page_size,
         log.object_header_bytes,
     )
-    return len(plan.flush_list) <= log.geometry.num_pages
+    if len(plan.flush_list) > log.geometry.num_pages:
+        return (
+            "the trace wraps the device (zone recycling invalidates the "
+            "analytic flush schedule)"
+        )
+    return None
+
+
+def sharding_eligible(engine: CacheEngine, trace: Trace) -> bool:
+    """Whether the analytic sharded lane can replay this combination."""
+    return sharding_ineligible_reason(engine, trace) is None
 
 
 def replay_sharded(
@@ -361,6 +384,7 @@ def replay_sharded(
     progress: bool = False,
     faults: FaultPlan | None = None,
     kernel: str | None = None,
+    min_requests_per_shard: int | None = None,
 ) -> ReplayResult:
     """Replay one trace split across ``shards`` worker processes.
 
@@ -378,27 +402,30 @@ def replay_sharded(
     ``REPRO_REPLAY_KERNEL`` environment override names another lane.
     Falls back to serial :func:`~repro.harness.runner.replay` (same
     arguments, trivially identical) whenever the analytic lane does not
-    apply: ``shards <= 1``, a non-columnar ``kernel``, fault plans,
-    ineligible engines (anything but a virgin latency-free Log), or
-    traces that wrap the device.
+    apply: ``shards <= 1``, a non-columnar ``kernel``, or fault plans
+    fall back silently; an engine whose registered whole-trace kernel is
+    not analytically shardable (Nemo's state-dependent mutation walk) or
+    a trace that wraps the device demotes to the *serial whole-trace
+    kernel* with a ``ReplayResult.notes`` entry naming the reason; and a
+    trace smaller than ``min_requests_per_shard`` requests per shard
+    (default :data:`MIN_REQUESTS_PER_SHARD`) demotes the same way when
+    worker processes would actually fan out — spawn startup swamps tiny
+    traces.  Pass ``min_requests_per_shard=0`` to force the analytic
+    lane on small inputs.
 
-    The sharded fast path is measurement-only: ``engine`` is consulted
+    The analytic fast path is measurement-only: ``engine`` is consulted
     for geometry and eligibility but **not mutated** (its counters stay
-    virgin), unlike the serial lanes which leave the engine in its
-    end-of-trace state.
+    virgin).  The serial lanes — including every demotion above — leave
+    the engine in its end-of-trace state.
     """
     if arrival_rate <= 0:
         raise ConfigError("arrival_rate must be positive")
     if kernel is None and not os.environ.get(KERNEL_ENV_VAR):
         kernel = "columnar"
     resolved = resolve_kernel(kernel)
-    if (
-        shards <= 1
-        or resolved != "columnar"
-        or faults is not None
-        or not sharding_eligible(engine, trace)
-    ):
-        return replay(
+
+    def _serial(serial_kernel: str, note: str | None) -> ReplayResult:
+        result = replay(
             engine,
             trace,
             sample_every=sample_every,
@@ -410,7 +437,40 @@ def replay_sharded(
             sampled_metrics=sampled_metrics,
             progress=progress,
             faults=faults,
-            kernel=resolved,
+            kernel=serial_kernel,
+        )
+        if note is not None:
+            result.notes.append(note)
+        return result
+
+    if shards <= 1 or resolved != "columnar" or faults is not None:
+        return _serial(resolved, None)
+    analytic_reason = sharding_ineligible_reason(engine, trace)
+    if analytic_reason is not None:
+        from repro.harness.columnar import kernel_ineligible_reason
+
+        note = None
+        if kernel_ineligible_reason(engine, trace, None) is None:
+            # The engine has a registered whole-trace kernel (Nemo): the
+            # request for shards still lands on the columnar fast lane,
+            # just serially.
+            note = (
+                f"replaying {shards} shards on the serial whole-trace "
+                f"kernel: {analytic_reason}"
+            )
+        return _serial(resolved, note)
+    threshold = (
+        MIN_REQUESTS_PER_SHARD
+        if min_requests_per_shard is None
+        else min_requests_per_shard
+    )
+    fan_out = (default_jobs() if jobs is None else jobs) > 1
+    if fan_out and len(trace) < shards * threshold:
+        return _serial(
+            resolved,
+            f"replaying on the serial whole-trace kernel: {len(trace):,} "
+            f"requests over {shards} shards is below the {threshold:,} "
+            "requests-per-shard fan-out threshold",
         )
 
     from typing import cast

@@ -17,10 +17,11 @@ metric-parity goldens compare them):
 
 - ``kernel="batched"`` (default): the trace is pre-sliced into same-op
   runs handed to the engines' bulk fast paths.
-- ``kernel="columnar"``: whole-trace numpy decision passes; the Log
-  engine replays through :mod:`repro.harness.columnar`, other engines
-  consume precomputed hash columns (``Trace.columns``) through their
-  bulk paths.
+- ``kernel="columnar"``: whole-trace numpy decision passes; engines
+  with a registered whole-trace kernel (Log, Nemo — see
+  ``KERNEL_REGISTRY`` in :mod:`repro.harness.columnar`) replay through
+  it, other engines consume precomputed hash columns
+  (``Trace.columns``) through their bulk paths.
 - ``kernel="scalar"``: the :class:`CacheEngine` scalar-loop fallbacks —
   the slowest lane, kept as the semantic reference.
 """
@@ -80,6 +81,9 @@ class ReplayResult:
     crashes: int = 0
     #: Which replay lane produced this result (metrics are lane-invariant).
     kernel: str = "batched"
+    #: Human-readable dispatch notes (e.g. why the columnar lane fell
+    #: back to batched dispatch for this engine/trace combination).
+    notes: list[str] = field(default_factory=list)
 
     @property
     def wa(self) -> float:
@@ -230,12 +234,16 @@ def replay(
     start = 0
     result_kernel = kernel
 
+    notes: list[str] = []
     if kernel == "columnar" and not force_scalar:
-        from repro.harness.columnar import log_kernel_eligible, replay_log_columnar
+        from repro.harness.columnar import kernel_for, kernel_ineligible_reason
 
-        if log_kernel_eligible(engine, trace, faults):
-            outcome = replay_log_columnar(
-                engine,  # type: ignore[arg-type]
+        reason = kernel_ineligible_reason(engine, trace, faults)
+        if reason is None:
+            spec = kernel_for(engine)
+            assert spec is not None  # eligible implies registered
+            outcome = spec.replay(
+                engine,
                 trace,
                 boundaries=boundary_list,
                 sample_points=sample_points,
@@ -259,6 +267,11 @@ def replay(
                 # the suffix, starting with the partial chunk up to the
                 # next (still unsampled) boundary.
                 boundary_list = [b for b in boundary_list if b >= start]
+        else:
+            notes.append(
+                "columnar kernel unavailable, falling back to batched "
+                f"dispatch: {reason}"
+            )
 
     # Columnar hash columns for engines whose bulk paths accept
     # precomputed placement offsets (Nemo, FW/KG, Set): one vectorised
@@ -348,4 +361,5 @@ def replay(
         ),
         crashes=len(crash_points),
         kernel=result_kernel,
+        notes=notes,
     )

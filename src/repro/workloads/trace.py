@@ -136,6 +136,25 @@ class Trace:
         self._column_cache[cache_key] = cols
         return cols
 
+    def adopt_columns(
+        self, cols: TraceColumns, sets_per_sg: int | None = None
+    ) -> None:
+        """Seed the column cache with externally computed hash columns.
+
+        Fan-out paths (the cluster's shard workers) rebuild sub-traces
+        from shipped arrays; adopting the parent's pre-sliced columns
+        means the whole replay runs one splitmix pass over the original
+        trace instead of one per shard.  The caller owns the contract
+        that ``cols`` really is ``columns(cols.seed, cols.num_sets,
+        sets_per_sg)`` of *this* trace — only the lengths are checked.
+        """
+        if len(cols.hashes) != len(self) or len(cols.set_ids) != len(self):
+            raise TraceError(
+                "adopted columns must match the trace length "
+                f"({len(cols.hashes)}/{len(cols.set_ids)} vs {len(self)})"
+            )
+        self._column_cache[(cols.seed, cols.num_sets, sets_per_sg)] = cols
+
     # ------------------------------------------------------------------
     def slice(self, start: int, stop: int) -> "Trace":
         """A view-backed sub-trace over requests ``[start, stop)``."""

@@ -47,19 +47,51 @@ class TestClusterCLI:
 
 
 class TestReplayShardGuard:
-    """``--shards`` must fail fast instead of silently going serial."""
+    """``--shards`` fails fast when no kernel can replay the shards;
+    registered-kernel engines demote to serial with a printed note."""
 
-    def test_ineligible_engine_errors(self, capsys):
+    def test_unregistered_engine_errors(self, capsys):
         with pytest.raises(SystemExit) as exc:
             main(
                 [
-                    "replay", "--engine", "nemo", "--shards", "2",
+                    "replay", "--engine", "set", "--shards", "2",
                     "--requests", "3000",
                 ]
             )
         assert exc.value.code == 2
         err = capsys.readouterr().err
-        assert "not eligible for the sharded lane" in err
+        assert "has no whole-trace kernel" in err
+
+    def test_registered_engine_demotes_with_warning(self, capsys):
+        """Nemo has a whole-trace kernel but no analytic sharding lane:
+        --shards runs it serially and says so instead of erroring."""
+        rc = main(
+            [
+                "replay", "--engine", "nemo", "--shards", "2",
+                "--jobs", "1", "--requests", "3000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert (
+            "warning: Nemo: replaying 2 shards on the serial "
+            "whole-trace kernel" in out
+        )
+        assert "columnar" in out
+
+    def test_serial_fallback_prints_warning(self, capsys):
+        """Without --shards, an engine with no registered kernel falls
+        back to batched dispatch with a warning, not an error."""
+        rc = main(
+            [
+                "replay", "--engine", "set", "--kernel", "columnar",
+                "--requests", "3000",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "warning: Set: columnar kernel unavailable" in out
+        assert "falling back to batched dispatch" in out
 
     def test_non_columnar_kernel_errors(self, capsys):
         with pytest.raises(SystemExit) as exc:

@@ -104,6 +104,46 @@ class TestDeterminism:
         assert sum(result.shard_requests) == 2_000
 
 
+class TestColumnShipping:
+    """The parent hashes the key column once; shard workers adopt the
+    pre-sliced columns instead of re-running the splitmix pass."""
+
+    def test_one_splitmix_pass_per_replay(self, monkeypatch):
+        import repro.workloads.trace as trace_mod
+
+        trace = _trace(num_requests=4_000)
+        calls: list[int] = []
+        orig = trace_mod.splitmix64_array
+
+        def counting(keys, seed):
+            calls.append(len(keys))
+            return orig(keys, seed)
+
+        monkeypatch.setattr(trace_mod, "splitmix64_array", counting)
+        config = ClusterConfig(num_shards=4, engine="nemo", zones_per_shard=8)
+        result = CacheCluster(config).replay(
+            trace, jobs=1, kernel="columnar", meter=False
+        )
+        assert result.num_requests == 4_000
+        # One pass, over the whole trace — not one per shard.
+        assert calls == [4_000]
+
+    def test_nemo_columnar_cluster_matches_batched(self):
+        """Shard workers dispatching to the Nemo whole-trace kernel
+        merge byte-identically with the batched shard lane."""
+        trace = _trace(num_requests=6_000)
+        config = ClusterConfig(num_shards=4, engine="nemo", zones_per_shard=8)
+        columnar = CacheCluster(config).replay(
+            trace, jobs=1, kernel="columnar", meter=False, record_latency=True
+        )
+        batched = CacheCluster(config).replay(
+            trace, jobs=1, kernel="batched", meter=False, record_latency=True
+        )
+        _assert_results_identical(columnar, batched)
+        for fa, fb in zip(columnar.shard_finals, batched.shard_finals):
+            _assert_finals_identical(fa, fb)
+
+
 class TestOneShardIsSerial:
     def test_final_matches_serial_replay(self):
         """One shard + meter off == plain serial replay, bit for bit."""

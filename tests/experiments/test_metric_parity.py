@@ -142,13 +142,50 @@ class TestKernelSweep:
 
     The golden file was recorded on the batched lane, so passing here
     proves three-way byte identity on every fig12/fig14/fig15 micro
-    cell — not just that each lane is internally stable.
+    cell — not just that each lane is internally stable.  On the
+    columnar lane the Log *and* Nemo cells dispatch to their
+    whole-trace kernels (``KERNEL_REGISTRY``), so the sweep's Nemo
+    rows are the Nemo kernel's golden-metric gate.
     """
 
     @pytest.mark.parametrize("fig", _SWEEP_FIGS)
     def test_lane_matches_golden(self, kernel_cells, golden, fig):
         kernel, cells = kernel_cells
         _assert_identical(cells[fig], golden[fig], f"{kernel}:{fig}")
+
+    def test_columnar_lane_engages_nemo_kernel(self, monkeypatch, golden):
+        """Guard against the sweep going vacuous: the fig12 Nemo micro
+        cell on the columnar lane must actually run the whole-trace
+        Nemo kernel (not silently fall back to batched dispatch) and
+        still match its golden row."""
+        import dataclasses
+
+        import repro.harness.columnar as columnar
+        from repro.core.nemo import NemoCache
+        from repro.experiments import fig12_wa_main as f12
+        from repro.harness.runner import KERNEL_ENV_VAR
+
+        spec = columnar.KERNEL_REGISTRY[NemoCache]
+        hits: list[int] = []
+
+        def counted(engine, trace, **kwargs):
+            hits.append(len(trace))
+            return spec.replay(engine, trace, **kwargs)
+
+        monkeypatch.setitem(
+            columnar.KERNEL_REGISTRY,
+            NemoCache,
+            dataclasses.replace(spec, replay=counted),
+        )
+        monkeypatch.setenv(KERNEL_ENV_VAR, "columnar")
+        nemo_index = list(f12.PAPER_WA).index("Nemo")
+        cell = json.loads(
+            json.dumps(f12._main_cell("micro", nemo_index))
+        )
+        assert len(hits) == 1
+        _assert_identical(
+            cell, golden["fig12"][nemo_index], "columnar:fig12:Nemo"
+        )
 
 
 def main() -> None:

@@ -1,0 +1,385 @@
+"""Byte-identity tests for the whole-trace columnar Nemo kernel.
+
+Mirrors ``test_columnar.py`` for the Nemo entry of ``KERNEL_REGISTRY``:
+the kernel must be indistinguishable from the batched lane in every
+observable, in *both* filter modes (the calibrated statistical PBFG
+model and ``use_real_filters=True``), across the flush-free fast case,
+the flush-heavy completed case, and the pool-exhaustion bail (columnar
+prefix + batched suffix).  Also pins the registry dispatch itself:
+``kernel_for`` / ``kernel_ineligible_reason`` and the fallback note the
+runner emits for unregistered engines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.log_structured import LogStructuredCache
+from repro.baselines.set_associative import SetAssociativeCache
+from repro.core.config import NemoConfig
+from repro.core.nemo import NemoCache
+from repro.flash.geometry import FlashGeometry
+from repro.flash.latency import LatencyModel
+from repro.harness.columnar import (
+    KERNEL_REGISTRY,
+    kernel_eligible,
+    kernel_for,
+    kernel_ineligible_reason,
+    nemo_kernel_eligible,
+    nemo_kernel_ineligible_reason,
+)
+from repro.harness.runner import replay
+from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace
+
+
+def _assert_finals_identical(fa, fb):
+    """Snapshot dict equality, nan-aware (nan == nan here)."""
+    assert fa.keys() == fb.keys()
+    for key in fa:
+        va, vb = fa[key], fb[key]
+        assert va == vb or (
+            isinstance(va, float)
+            and isinstance(vb, float)
+            and math.isnan(va)
+            and math.isnan(vb)
+        ), f"{key}: {va!r} != {vb!r}"
+
+
+def _assert_results_identical(a, b):
+    """Every observable of two ReplayResults matches bit-for-bit."""
+    _assert_finals_identical(a.final, b.final)
+    assert a.series.keys() == b.series.keys()
+    for name in a.series:
+        for (xa, va), (xb, vb) in zip(
+            a.series[name].as_rows(), b.series[name].as_rows()
+        ):
+            assert xa == xb
+            assert va == vb or (math.isnan(va) and math.isnan(vb))
+    assert a.latency._values == b.latency._values
+    assert a.latency._window_bounds == b.latency._window_bounds
+    if a.write_rate is None:
+        assert b.write_rate is None
+    else:
+        assert a.write_rate.rates == b.write_rate.rates
+    assert a.sim_seconds == b.sim_seconds
+    assert a.num_requests == b.num_requests
+
+
+def _mixed_trace(n=4000, num_keys=300, seed=7, hi=400, p=(0.8, 0.15, 0.05)):
+    """GET-heavy trace with SETs and DELETEs over a small key universe."""
+    rng = np.random.default_rng(seed)
+    ops = rng.choice(
+        np.array([OP_GET, OP_SET, OP_DELETE], dtype=np.uint8),
+        size=n,
+        p=list(p),
+    )
+    return Trace(
+        ops=ops,
+        keys=rng.integers(0, num_keys, size=n),
+        sizes=rng.integers(40, hi, size=n),
+        name="mixed",
+    )
+
+
+def _flush_trace():
+    """SET-heavy trace that drives flushes (pool SGs, WA > 0) without
+    exhausting the small geometry's free zones — the kernel completes."""
+    return _mixed_trace(
+        n=8_000, num_keys=1_500, seed=7, hi=700, p=(0.6, 0.35, 0.05)
+    )
+
+
+def _eviction_trace():
+    """Working set far beyond the tiny geometry: fills the SG pool and
+    forces the kernel to bail into the batched suffix (early evictions,
+    writeback, pool churn all happen past the bail point)."""
+    return _mixed_trace(n=12_000, num_keys=2_000, seed=3)
+
+
+FILTER_MODES = ["statistical", "real"]
+
+
+def _config(mode: str) -> NemoConfig:
+    cfg = NemoConfig(
+        flush_threshold=4, sgs_per_index_group=3, bf_capacity_per_set=20
+    )
+    if mode == "real":
+        cfg = dataclasses.replace(cfg, use_real_filters=True)
+    return cfg
+
+
+@pytest.mark.parametrize("mode", FILTER_MODES)
+class TestNemoColumnarParity:
+    def test_flush_heavy_replay(self, small_geometry, mode):
+        trace = _flush_trace()
+        batched = replay(NemoCache(small_geometry, _config(mode)), trace)
+        columnar = replay(
+            NemoCache(small_geometry, _config(mode)),
+            trace,
+            kernel="columnar",
+        )
+        assert columnar.kernel == "columnar"
+        assert columnar.notes == []
+        # The point of this cell: SGs actually flushed to flash.
+        assert batched.final["pool_sgs"] > 0
+        assert batched.final["wa"] > 0
+        _assert_results_identical(columnar, batched)
+
+    def test_instrumented_replay(self, small_geometry, mode):
+        trace = _flush_trace()
+        kwargs = dict(
+            sample_every=517,
+            record_latency=True,
+            mark_window_at=len(trace) // 3,
+            write_rate_window_s=0.01,
+        )
+        batched = replay(
+            NemoCache(small_geometry, _config(mode)), trace, **kwargs
+        )
+        columnar = replay(
+            NemoCache(small_geometry, _config(mode)),
+            trace,
+            kernel="columnar",
+            **kwargs,
+        )
+        _assert_results_identical(columnar, batched)
+
+    def test_read_side_metrics_sampled(self, small_geometry, mode):
+        """Sampling consult-side metrics forces the kernel's read
+        settlement at every boundary (the deferral gate switches off)."""
+        kwargs = dict(
+            sample_every=331,
+            sampled_metrics=(
+                "wa",
+                "host_read_bytes",
+                "false_positive_reads",
+                "pbfg_pool_read_ratio",
+            ),
+        )
+        trace = _flush_trace()
+        batched = replay(
+            NemoCache(small_geometry, _config(mode)), trace, **kwargs
+        )
+        columnar = replay(
+            NemoCache(small_geometry, _config(mode)),
+            trace,
+            kernel="columnar",
+            **kwargs,
+        )
+        _assert_results_identical(columnar, batched)
+
+    def test_engine_end_state_identical(self, small_geometry, mode):
+        trace = _flush_trace()
+        eng_b = NemoCache(small_geometry, _config(mode))
+        eng_c = NemoCache(small_geometry, _config(mode))
+        replay(eng_b, trace)
+        replay(eng_c, trace, kernel="columnar")
+        _assert_finals_identical(
+            eng_c.metrics_snapshot(), eng_b.metrics_snapshot()
+        )
+        assert eng_c.object_count() == eng_b.object_count()
+        assert len(eng_c.pool) == len(eng_b.pool)
+
+    def test_pool_exhaustion_bails_to_batched_suffix(
+        self, tiny_geometry, mode
+    ):
+        trace = _eviction_trace()
+        batched = replay(NemoCache(tiny_geometry, _config(mode)), trace)
+        columnar = replay(
+            NemoCache(tiny_geometry, _config(mode)),
+            trace,
+            kernel="columnar",
+        )
+        # The point of this cell: the pool churned (bail was taken).
+        assert batched.final["evicted_objects"] > 0
+        assert batched.final["writeback_objects"] > 0
+        _assert_results_identical(columnar, batched)
+
+    def test_bail_instrumented(self, tiny_geometry, mode):
+        trace = _eviction_trace()
+        kwargs = dict(
+            record_latency=True, mark_window_at=6_000, sample_every=997
+        )
+        batched = replay(
+            NemoCache(tiny_geometry, _config(mode)), trace, **kwargs
+        )
+        columnar = replay(
+            NemoCache(tiny_geometry, _config(mode)),
+            trace,
+            kernel="columnar",
+            **kwargs,
+        )
+        _assert_results_identical(columnar, batched)
+
+
+class TestNemoRandomTraces:
+    @given(
+        ops=st.lists(
+            st.sampled_from([OP_GET, OP_SET, OP_DELETE]),
+            min_size=1,
+            max_size=120,
+        ),
+        seed=st.integers(0, 2**31 - 1),
+        num_keys=st.integers(1, 30),
+        real_filters=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_traces_identical(
+        self, ops, seed, num_keys, real_filters
+    ):
+        tiny_geometry = FlashGeometry(
+            page_size=4096, pages_per_block=16, num_blocks=8, blocks_per_zone=1
+        )
+        config = _config("real" if real_filters else "statistical")
+        rng = np.random.default_rng(seed)
+        n = len(ops)
+        trace = Trace(
+            ops=np.asarray(ops, dtype=np.uint8),
+            keys=rng.integers(0, num_keys, size=n),
+            sizes=rng.integers(1, 1000, size=n),
+        )
+        batched = replay(
+            NemoCache(tiny_geometry, config), trace, sample_every=17
+        )
+        columnar = replay(
+            NemoCache(tiny_geometry, config),
+            trace,
+            sample_every=17,
+            kernel="columnar",
+        )
+        _assert_results_identical(columnar, batched)
+
+
+class TestNemoKernelCache:
+    def test_decision_columns_cached_on_trace(self, small_geometry):
+        trace = _flush_trace()
+        assert trace._kernel_cache == {}
+        replay(
+            NemoCache(small_geometry, _config("statistical")),
+            trace,
+            kernel="columnar",
+        )
+        assert "nemo-chain" in trace._kernel_cache
+        assert any(
+            isinstance(k, tuple) and k[0] == "nemo-ins-offs"
+            for k in trace._kernel_cache
+        )
+        chain = trace._kernel_cache["nemo-chain"]
+        second = replay(
+            NemoCache(small_geometry, _config("statistical")),
+            trace,
+            kernel="columnar",
+        )
+        # Reused, not recomputed — and the replay stays identical.
+        assert trace._kernel_cache["nemo-chain"] is chain
+        first = replay(NemoCache(small_geometry, _config("statistical")), trace)
+        _assert_results_identical(second, first)
+
+
+class TestNemoEligibility:
+    def test_virgin_nemo_engine_eligible(self, small_geometry):
+        assert nemo_kernel_eligible(
+            NemoCache(small_geometry, _config("statistical")),
+            _flush_trace(),
+            None,
+        )
+
+    def test_non_nemo_engine_ineligible(self, small_geometry):
+        reason = nemo_kernel_ineligible_reason(
+            SetAssociativeCache(small_geometry), _flush_trace(), None
+        )
+        assert reason is not None and "NemoCache" in reason
+
+    def test_warm_engine_ineligible(self, small_geometry):
+        engine = NemoCache(small_geometry, _config("statistical"))
+        engine.insert(1, 100)
+        assert not nemo_kernel_eligible(engine, _flush_trace(), None)
+
+    def test_latency_model_ineligible(self, small_geometry):
+        engine = NemoCache(
+            small_geometry, _config("statistical"), latency=LatencyModel()
+        )
+        assert not nemo_kernel_eligible(engine, _flush_trace(), None)
+
+    def test_fault_plan_ineligible(self, small_geometry):
+        from repro.faults.plan import FaultPlan
+
+        assert not nemo_kernel_eligible(
+            NemoCache(small_geometry, _config("statistical")),
+            _flush_trace(),
+            FaultPlan(),
+        )
+
+    def test_oversized_object_ineligible(self, small_geometry):
+        trace = Trace(
+            ops=np.array([OP_SET], dtype=np.uint8),
+            keys=np.array([1]),
+            sizes=np.array([small_geometry.page_size + 1]),
+        )
+        assert not nemo_kernel_eligible(
+            NemoCache(small_geometry, _config("statistical")), trace, None
+        )
+
+    def test_empty_trace_ineligible(self, small_geometry):
+        trace = Trace(
+            ops=np.zeros(0, dtype=np.uint8),
+            keys=np.zeros(0, dtype=np.int64),
+            sizes=np.zeros(0, dtype=np.int64),
+        )
+        assert not nemo_kernel_eligible(
+            NemoCache(small_geometry, _config("statistical")), trace, None
+        )
+
+
+class TestKernelRegistry:
+    def test_registered_engines(self):
+        assert LogStructuredCache in KERNEL_REGISTRY
+        assert NemoCache in KERNEL_REGISTRY
+        assert KERNEL_REGISTRY[NemoCache].name == "nemo"
+        assert KERNEL_REGISTRY[LogStructuredCache].name == "log"
+
+    def test_kernel_for_dispatches_by_type(self, small_geometry):
+        nemo = NemoCache(small_geometry, _config("statistical"))
+        assert kernel_for(nemo) is KERNEL_REGISTRY[NemoCache]
+        assert kernel_for(SetAssociativeCache(small_geometry)) is None
+
+    def test_registered_engines_eligible(self, small_geometry):
+        trace = _flush_trace()
+        assert kernel_eligible(
+            NemoCache(small_geometry, _config("statistical")), trace, None
+        )
+        assert kernel_eligible(LogStructuredCache(small_geometry), trace, None)
+
+    def test_unregistered_engine_reason_lists_registry(self, small_geometry):
+        reason = kernel_ineligible_reason(
+            SetAssociativeCache(small_geometry), _flush_trace(), None
+        )
+        assert reason is not None
+        assert "has no whole-trace columnar kernel" in reason
+        assert "LogStructuredCache" in reason and "NemoCache" in reason
+
+    def test_unregistered_engine_falls_back_with_note(self, small_geometry):
+        trace = _flush_trace()
+        reference = replay(SetAssociativeCache(small_geometry), trace)
+        fallback = replay(
+            SetAssociativeCache(small_geometry), trace, kernel="columnar"
+        )
+        assert len(fallback.notes) == 1
+        assert "falling back to batched dispatch" in fallback.notes[0]
+        _assert_results_identical(fallback, reference)
+
+    def test_ineligible_nemo_falls_back_with_note(self, small_geometry):
+        """A registered engine that fails eligibility (warm state) also
+        demotes to batched dispatch with the reason in the note."""
+        trace = _flush_trace()
+        warm = NemoCache(small_geometry, _config("statistical"))
+        warm.insert(1, 100)
+        result = replay(warm, trace, kernel="columnar")
+        assert len(result.notes) == 1
+        assert "not virgin" in result.notes[0]

@@ -17,7 +17,14 @@ import numpy as np
 
 from repro.baselines.log_structured import LogStructuredCache
 from repro.baselines.set_associative import SetAssociativeCache
-from repro.harness.parallel import replay_sharded, sharding_eligible
+from repro.core.config import NemoConfig
+from repro.core.nemo import NemoCache
+from repro.harness.parallel import (
+    MIN_REQUESTS_PER_SHARD,
+    replay_sharded,
+    sharding_eligible,
+    sharding_ineligible_reason,
+)
 from repro.harness.runner import replay
 from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace
 
@@ -199,3 +206,81 @@ class TestShardedFallbacks:
 
     def test_eligible_log_engine(self, small_geometry):
         assert sharding_eligible(LogStructuredCache(small_geometry), _trace())
+
+
+def _nemo_config():
+    return NemoConfig(
+        flush_threshold=4, sgs_per_index_group=3, bf_capacity_per_set=20
+    )
+
+
+class TestShardedDemotionNotes:
+    """Engines with a whole-trace kernel but no analytic sharding lane
+    demote to the serial kernel and say so in ``result.notes``; silent
+    fallbacks (no kernel at all, non-columnar lanes) stay silent."""
+
+    def test_nemo_demotes_to_serial_kernel_with_note(self, small_geometry):
+        trace = _trace()
+        reason = sharding_ineligible_reason(
+            NemoCache(small_geometry, _nemo_config()), trace
+        )
+        assert reason is not None and "Log kernel" in reason
+        serial = replay(
+            NemoCache(small_geometry, _nemo_config()),
+            trace,
+            kernel="columnar",
+        )
+        result = replay_sharded(
+            NemoCache(small_geometry, _nemo_config()), trace, shards=4
+        )
+        assert result.kernel == "columnar"
+        assert len(result.notes) == 1
+        assert "4 shards on the serial whole-trace kernel" in result.notes[0]
+        _assert_results_identical(result, serial)
+
+    def test_no_kernel_engine_falls_back_without_demotion_note(
+        self, small_geometry
+    ):
+        """Set has no registered kernel: the sharded lane goes serial
+        silently and only the runner's own fallback note appears."""
+        result = replay_sharded(
+            SetAssociativeCache(small_geometry), _trace(), shards=2
+        )
+        assert len(result.notes) == 1
+        assert "falling back to batched dispatch" in result.notes[0]
+
+    def test_below_threshold_fanout_demotes_with_note(self, small_geometry):
+        """Fanning a tiny trace over worker processes costs more than
+        the replay itself: with explicit jobs > 1 and fewer than
+        MIN_REQUESTS_PER_SHARD requests per shard, the sharded lane
+        runs the serial whole-trace kernel and says so."""
+        trace = _trace()
+        assert len(trace) < 2 * MIN_REQUESTS_PER_SHARD
+        serial = replay(
+            LogStructuredCache(small_geometry), trace, kernel="columnar"
+        )
+        result = replay_sharded(
+            LogStructuredCache(small_geometry), trace, shards=2, jobs=2
+        )
+        assert len(result.notes) == 1
+        assert "requests-per-shard fan-out threshold" in result.notes[0]
+        _assert_results_identical(result, serial)
+
+    def test_min_requests_per_shard_zero_forces_analytic(
+        self, small_geometry
+    ):
+        """min_requests_per_shard=0 disables the demotion: the analytic
+        lane runs (no notes) and still merges byte-identically."""
+        trace = _trace()
+        serial = replay(
+            LogStructuredCache(small_geometry), trace, kernel="columnar"
+        )
+        result = replay_sharded(
+            LogStructuredCache(small_geometry),
+            trace,
+            shards=2,
+            jobs=1,
+            min_requests_per_shard=0,
+        )
+        assert result.notes == []
+        _assert_results_identical(result, serial)

@@ -113,6 +113,43 @@ class TestColumns:
         assert s._kernel_cache == {}
         assert s._column_cache == {}
 
+    def test_adopt_columns_seeds_cache(self):
+        """A rebuilt sub-trace adopting the parent's pre-sliced columns
+        serves them from the cache instead of rehashing."""
+        parent = make_trace(10)
+        cols = parent.columns(seed=3, num_sets=8)
+        idx = np.array([1, 4, 7])
+        from repro.workloads.trace import TraceColumns
+
+        child = Trace(
+            ops=parent.ops[idx],
+            keys=parent.keys[idx],
+            sizes=parent.sizes[idx],
+        )
+        shipped = TraceColumns(
+            seed=3,
+            num_sets=8,
+            hashes=cols.hashes[idx],
+            set_ids=cols.set_ids[idx],
+        )
+        child.adopt_columns(shipped)
+        assert child.columns(seed=3, num_sets=8) is shipped
+        # The adopted values equal what the child would have computed.
+        fresh = Trace(
+            ops=parent.ops[idx],
+            keys=parent.keys[idx],
+            sizes=parent.sizes[idx],
+        ).columns(seed=3, num_sets=8)
+        assert np.array_equal(shipped.hashes, fresh.hashes)
+        assert np.array_equal(shipped.set_ids, fresh.set_ids)
+
+    def test_adopt_columns_rejects_length_mismatch(self):
+        parent = make_trace(10)
+        cols = parent.columns(seed=0, num_sets=8)
+        child = make_trace(5)
+        with pytest.raises(TraceError):
+            child.adopt_columns(cols)
+
 
 class TestViews:
     def test_slice(self):
