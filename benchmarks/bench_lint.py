@@ -1,0 +1,61 @@
+"""Lint runtime benchmark: ``repro lint --deep`` must stay fast.
+
+Times a cold whole-program run (cache rebuilt from scratch) and a warm
+run (every module served from the mtime cache) against the acceptance
+budget, and checks the cache actually short-circuits parsing.  CI runs
+``python benchmarks/bench_lint.py --budget-seconds 30``; exit status 1
+means the deep pass outgrew its budget or the cache stopped working.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint.deep.driver import deep_lint  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=30.0,
+        help="hard ceiling for the cold --deep wall time (default: 30)",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = Path(tmp) / "bench_cache.json"
+        cold = deep_lint(REPO_ROOT, use_cache=True, cache_path=cache)
+        warm = deep_lint(REPO_ROOT, use_cache=True, cache_path=cache)
+
+    print(
+        f"bench_lint: cold {cold.stats['seconds']}s "
+        f"({cold.stats['modules_parsed']} parsed), "
+        f"warm {warm.stats['seconds']}s "
+        f"({warm.stats['modules_reused']} cached)"
+    )
+    failures = []
+    if cold.stats["seconds"] >= args.budget_seconds:
+        failures.append(
+            f"cold --deep took {cold.stats['seconds']}s "
+            f"(budget {args.budget_seconds}s)"
+        )
+    if warm.stats["modules_parsed"] != 0:
+        failures.append(
+            f"warm run re-parsed {warm.stats['modules_parsed']} modules "
+            "(cache miss on unchanged tree)"
+        )
+    for failure in failures:
+        print(f"bench_lint: FAIL {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,9 @@ back tier's overflow policy.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from typing import cast
+
 import numpy as np
 
 from repro.baselines.base import CacheEngine, LookupResult
@@ -210,7 +213,7 @@ class HierarchicalCacheBase(CacheEngine):
         hashed = splitmix64_array(
             np.asarray(keys, dtype=np.uint64), self._hash_seed
         )
-        return (hashed % np.uint64(self.hlog.num_buckets)).tolist()
+        return cast("list[int]", (hashed % np.uint64(self.hlog.num_buckets)).tolist())
 
     def columnar_spec(self) -> tuple[int, int]:
         """Placement column spec: ``hash64(key, seed) % num_buckets``."""
@@ -222,7 +225,7 @@ class HierarchicalCacheBase(CacheEngine):
         sizes: list[int],
         now_us: float,
         step_us: float,
-        record=None,
+        record: Callable[[float], None] | None = None,
         *,
         offsets: list[int] | None = None,
     ) -> float:

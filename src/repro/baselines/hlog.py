@@ -210,12 +210,6 @@ class HierarchicalLog:
             and self._buffer_bytes > 0
         )
 
-    def needs_reclaim(self, size: int) -> bool:
-        """Would inserting ``size`` more bytes require a zone reclaim?"""
-        if self._buffer_bytes + size <= self.page_size:
-            return False
-        return self._open_zone is None and not self._free_zones
-
     # ------------------------------------------------------------------
     # Migration support
     # ------------------------------------------------------------------

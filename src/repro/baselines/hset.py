@@ -224,13 +224,6 @@ class HierarchicalSet:
     def object_count(self) -> int:
         return self._object_count
 
-    def recount_objects(self) -> int:
-        """O(num_sets) recount (tests/debug); equals :meth:`object_count`."""
-        n = sum(len(s.objects) for s in self.sets)
-        if self.hot_cold:
-            n += sum(len(p) for p in self.pending_promotions)
-        return n
-
     def used_bytes(self) -> int:
         n = sum(s.used_bytes for s in self.sets)
         if self.hot_cold:

@@ -16,6 +16,7 @@ widths, not Python's allocator.
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable
 from itertools import repeat
 
 from repro.baselines.base import CacheEngine, LookupResult
@@ -152,7 +153,7 @@ class LogStructuredCache(CacheEngine):
         sizes: list[int],
         now_us: float,
         step_us: float,
-        record=None,
+        record: Callable[[float], None] | None = None,
     ) -> float:
         index_get = self._index.get
         insert = self.insert

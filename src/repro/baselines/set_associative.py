@@ -17,7 +17,7 @@ cost analytically.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, cast
 
 import numpy as np
 
@@ -84,7 +84,7 @@ class SetAssociativeCache(CacheEngine):
         hashed = splitmix64_array(
             np.asarray(keys, dtype=np.uint64), self.hash_seed
         )
-        return (hashed % np.uint64(self.num_sets)).tolist()
+        return cast("list[int]", (hashed % np.uint64(self.num_sets)).tolist())
 
     def columnar_spec(self) -> tuple[int, int]:
         """Placement column spec: ``hash64(key, seed) % num_sets``."""

@@ -338,9 +338,6 @@ class PageMapFTL:
     def mapped_lba_count(self) -> int:
         return self._valid_total
 
-    def valid_page_count(self) -> int:
-        return self._valid_total
-
     def check_invariants(self) -> None:
         """Audit internal consistency; raises :class:`FTLError` on drift.
 

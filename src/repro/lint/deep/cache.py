@@ -1,0 +1,153 @@
+"""mtime-keyed symbol-table cache + project assembly.
+
+``repro lint --deep`` re-parses only files whose ``(mtime_ns, size)``
+changed since the last run; everything else round-trips through the
+JSON cache at ``.reprolint_cache.json``.  Two keys guard staleness:
+
+- :data:`~repro.lint.deep.symbols.SCHEMA_VERSION` — bumped whenever the
+  extracted shape changes, discarding all old caches at once;
+- the project *class-name set hash* — receiver inference depends on the
+  global set of class names (``engine = NemoCache(...)`` in a file that
+  imports it), so adding or removing any class invalidates every entry,
+  not just the edited file.  Class names are collected by a cheap
+  regex pre-pass so the check itself never parses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from pathlib import Path
+
+from repro.lint.engine import classify_zone, iter_python_files
+from repro.lint.deep.callgraph import Project, build_project
+from repro.lint.deep.symbols import SCHEMA_VERSION, ModuleInfo, extract_module
+
+CACHE_FILENAME = ".reprolint_cache.json"
+
+_CLASS_RE = re.compile(r"^\s*class\s+([A-Za-z_][A-Za-z0-9_]*)", re.MULTILINE)
+
+#: The deep layer analyses the shipped package plus the examples; test
+#: and benchmark files feed the dead-code roots but are not themselves
+#: rule targets, so the symbol table covers everything reachable.
+DEEP_SCAN_ROOTS = ("src/repro", "benchmarks", "tests", "examples")
+
+
+def _class_name_prepass(sources: dict[str, str]) -> set[str]:
+    names: set[str] = set()
+    for source in sources.values():
+        names.update(_CLASS_RE.findall(source))
+    return names
+
+
+def _class_set_hash(names: set[str]) -> str:
+    digest = hashlib.sha256("\n".join(sorted(names)).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def load_symbol_tables(
+    root: Path,
+    *,
+    use_cache: bool = True,
+    cache_path: Path | None = None,
+    scan_roots: tuple[str, ...] = DEEP_SCAN_ROOTS,
+) -> tuple[dict[str, ModuleInfo], int, int]:
+    """Extract (or cache-load) every scanned file's symbol table.
+
+    Returns ``(modules, reused, parsed)`` where the counts feed the
+    ``--deep`` summary line.  Files that fail to parse are skipped here;
+    the shallow pass already reports E999 for them.
+    """
+    if cache_path is None:
+        cache_path = root / CACHE_FILENAME
+
+    files: dict[str, Path] = {}
+    sources: dict[str, str] = {}
+    stats: dict[str, tuple[int, int]] = {}
+    for file_path in iter_python_files(root, scan_roots):
+        rel = file_path.relative_to(root).as_posix()
+        try:
+            sources[rel] = file_path.read_text(encoding="utf-8")
+            stat = file_path.stat()
+        except OSError:
+            continue
+        files[rel] = file_path
+        stats[rel] = (stat.st_mtime_ns, stat.st_size)
+
+    class_names = _class_name_prepass(sources)
+    class_hash = _class_set_hash(class_names)
+
+    cached_entries: dict[str, dict] = {}
+    if use_cache and cache_path.is_file():
+        try:
+            payload = json.loads(cache_path.read_text(encoding="utf-8"))
+            if (
+                payload.get("schema") == SCHEMA_VERSION
+                and payload.get("class_hash") == class_hash
+            ):
+                cached_entries = payload.get("files", {})
+        except (OSError, json.JSONDecodeError):
+            cached_entries = {}
+
+    modules: dict[str, ModuleInfo] = {}
+    new_entries: dict[str, dict] = {}
+    reused = 0
+    parsed = 0
+    for rel in sorted(files):
+        mtime_ns, size = stats[rel]
+        entry = cached_entries.get(rel)
+        if (
+            entry is not None
+            and entry.get("mtime_ns") == mtime_ns
+            and entry.get("size") == size
+        ):
+            try:
+                modules[rel] = ModuleInfo.from_dict(entry["info"])
+                new_entries[rel] = entry
+                reused += 1
+                continue
+            except (KeyError, TypeError):
+                pass  # malformed entry: fall through to re-parse
+        try:
+            info = extract_module(
+                rel,
+                sources[rel],
+                zone=classify_zone(rel),
+                project_class_names=class_names,
+            )
+        except SyntaxError:
+            continue
+        modules[rel] = info
+        new_entries[rel] = {
+            "mtime_ns": mtime_ns,
+            "size": size,
+            "info": info.to_dict(),
+        }
+        parsed += 1
+
+    if use_cache:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "class_hash": class_hash,
+            "files": new_entries,
+        }
+        try:
+            cache_path.write_text(json.dumps(payload), encoding="utf-8")
+        except OSError:
+            pass  # read-only checkout: run uncached
+    return modules, reused, parsed
+
+
+def load_project(
+    root: Path,
+    *,
+    use_cache: bool = True,
+    cache_path: Path | None = None,
+    scan_roots: tuple[str, ...] = DEEP_SCAN_ROOTS,
+) -> tuple[Project, int, int]:
+    """Symbol tables -> assembled :class:`Project` (+ cache counters)."""
+    modules, reused, parsed = load_symbol_tables(
+        root, use_cache=use_cache, cache_path=cache_path, scan_roots=scan_roots
+    )
+    return build_project(str(root), modules), reused, parsed

@@ -1,0 +1,254 @@
+"""Whole-program call graph over the extracted symbol tables.
+
+Nodes are function qualnames (``pkg.mod.func``, ``pkg.mod.Class.method``,
+``pkg.mod.<module>`` for top-level code).  Edges come from three
+resolution strategies, in decreasing confidence:
+
+- **direct**: plain-name and module-attribute calls resolved through
+  each file's import alias map (``replay(...)``, ``factory.make_engine``);
+- **typed attribute calls**: ``self.m()`` through the receiver's MRO,
+  ``engine.m()`` through the parameter annotation, ``x = Cls(...)``
+  locals, and ``self.device.nand.program(...)`` chains folded through
+  per-class attribute types — with virtual dispatch: a call through a
+  base-class receiver fans out to every subclass override (this is what
+  roots the rules in the engine registry and the ``CacheEngine``/FTL
+  base classes);
+- **instantiation**: ``Cls(...)`` edges to ``Cls.__init__`` when defined.
+
+Calls that resolve to nothing in the project are kept per caller in
+``unresolved_attrs`` — the dead-code report treats any symbol whose name
+matches an unresolved call or reference as live (conservative by
+construction).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.lint.deep.symbols import ClassInfo, FuncInfo, ModuleInfo
+
+
+@dataclass
+class Project:
+    """The assembled whole-program view the deep rules run on."""
+
+    root: str
+    modules: dict[str, ModuleInfo]  # rel_path -> ModuleInfo
+    functions: dict[str, FuncInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)  # qualname ->
+    classes_by_name: dict[str, list[ClassInfo]] = field(
+        default_factory=lambda: defaultdict(list)
+    )
+    edges: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    unresolved_attrs: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: class qualname -> direct subclass qualnames
+    subclasses: dict[str, tuple[str, ...]] = field(default_factory=dict)
+
+    # -- lookups --------------------------------------------------------
+    def class_by_name(self, name: str) -> list[ClassInfo]:
+        leaf = name.rsplit(".", 1)[-1]
+        exact = self.classes.get(name)
+        if exact is not None:
+            return [exact]
+        return list(self.classes_by_name.get(leaf, ()))
+
+    def mro(self, cls: ClassInfo) -> list[ClassInfo]:
+        """Left-to-right DFS linearisation over project-known bases."""
+        order: list[ClassInfo] = []
+        seen: set[str] = set()
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            order.append(current)
+            bases: list[ClassInfo] = []
+            for base in current.bases:
+                bases.extend(self.class_by_name(base))
+            stack = bases + stack
+        return order
+
+    def resolve_method(self, cls: ClassInfo, name: str) -> FuncInfo | None:
+        """The method ``name`` as seen by instances of ``cls`` (MRO walk)."""
+        for candidate in self.mro(cls):
+            qual = candidate.methods.get(name)
+            if qual is not None:
+                fn = self.functions.get(qual)
+                if fn is not None:
+                    return fn
+        return None
+
+    def all_subclasses(self, cls: ClassInfo) -> list[ClassInfo]:
+        """Transitive subclasses of ``cls`` (excluding itself)."""
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+        stack = list(self.subclasses.get(cls.qualname, ()))
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            sub = self.classes.get(qual)
+            if sub is None:
+                continue
+            out.append(sub)
+            stack.extend(self.subclasses.get(qual, ()))
+        return out
+
+    def resolve_chain(self, start: ClassInfo, chain: list[str]) -> list[ClassInfo]:
+        """Fold an attribute chain through per-class attribute types.
+
+        ``self.device.nand`` from an engine class resolves via
+        ``attr_types["device"] == "ZNSDevice"`` then
+        ``attr_types["nand"] == "NandArray"``.  Unknown links end the
+        resolution (empty result).
+        """
+        currents = [start]
+        for attr in chain:
+            nexts: list[ClassInfo] = []
+            for cls in currents:
+                for candidate in self.mro(cls):
+                    type_name = candidate.attr_types.get(attr)
+                    if type_name is not None:
+                        nexts.extend(self.class_by_name(type_name))
+                        break
+            if not nexts:
+                return []
+            currents = nexts
+        return currents
+
+    def nested_within(self, qual: str) -> set[str]:
+        """``qual`` plus every function lexically nested inside it."""
+        out = {qual}
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.functions.values():
+                if fn.parent in out and fn.qualname not in out:
+                    out.add(fn.qualname)
+                    changed = True
+        return out
+
+
+def build_project(root: str, modules: dict[str, ModuleInfo]) -> Project:
+    """Assemble the call graph from per-file symbol tables."""
+    project = Project(root=root, modules=modules)
+    for mod in modules.values():
+        for qual, fn in mod.functions.items():
+            project.functions[qual] = fn
+        for cls in mod.classes.values():
+            project.classes[cls.qualname] = cls
+            project.classes_by_name[cls.name].append(cls)
+
+    subclasses: dict[str, list[str]] = defaultdict(list)
+    for cls in project.classes.values():
+        for base in cls.bases:
+            for base_cls in project.class_by_name(base):
+                subclasses[base_cls.qualname].append(cls.qualname)
+    project.subclasses = {k: tuple(sorted(v)) for k, v in subclasses.items()}
+
+    for fn in project.functions.values():
+        callees: set[str] = set()
+        unresolved: set[str] = set()
+        for call in fn.calls:
+            if call.resolved is not None and call.attr is None:
+                _resolve_direct(project, fn, call.resolved, callees, unresolved)
+            elif call.attr is not None:
+                _resolve_attr_call(project, fn, call, callees, unresolved)
+        project.edges[fn.qualname] = tuple(sorted(callees))
+        project.unresolved_attrs[fn.qualname] = tuple(sorted(unresolved))
+    return project
+
+
+def _resolve_direct(
+    project: Project,
+    caller: FuncInfo,
+    qual: str,
+    callees: set[str],
+    unresolved: set[str],
+) -> None:
+    candidates = [qual]
+    if "." not in qual:
+        # Same-module bare name (not imported): qualify it.
+        candidates = [f"{caller.module}.{qual}", qual]
+        if caller.parent is not None:
+            # Sibling nested function inside the same enclosing scope.
+            candidates.insert(0, f"{caller.parent}.{qual}")
+        if caller.cls is not None:
+            candidates.insert(0, f"{caller.module}.{caller.cls}.{qual}")
+    for candidate in candidates:
+        fn = project.functions.get(candidate)
+        if fn is not None:
+            callees.add(fn.qualname)
+            return
+        cls = project.classes.get(candidate)
+        if cls is not None:
+            init = project.resolve_method(cls, "__init__")
+            if init is not None:
+                callees.add(init.qualname)
+            return
+    leaf = qual.rsplit(".", 1)[-1]
+    # ``pkg.mod.Class.method`` spelled through an imported class name.
+    if "." in qual:
+        head, method = qual.rsplit(".", 1)
+        for cls in project.class_by_name(head):
+            target = project.resolve_method(cls, method)
+            if target is not None:
+                callees.add(target.qualname)
+                return
+    unresolved.add(leaf)
+
+
+def _receiver_classes(project: Project, fn: FuncInfo, call) -> list[ClassInfo]:
+    root = call.recv_root
+    roots: list[ClassInfo] = []
+    if root == "self" and fn.cls is not None:
+        roots = project.class_by_name(f"{fn.module}.{fn.cls}")
+    elif root.startswith("param:"):
+        name = root[6:]
+        ann = next((p.annotation for p in fn.params if p.name == name), None)
+        if ann is not None:
+            from repro.lint.deep.symbols import _annotation_base_str
+
+            base = _annotation_base_str(ann)
+            if base is not None:
+                roots = project.class_by_name(base)
+    elif root.startswith("local:") or root.startswith("class:"):
+        roots = project.class_by_name(root.split(":", 1)[1])
+    if not roots:
+        return []
+    if not call.recv_chain:
+        return roots
+    resolved: list[ClassInfo] = []
+    for cls in roots:
+        resolved.extend(project.resolve_chain(cls, list(call.recv_chain)))
+    return resolved
+
+
+def _resolve_attr_call(
+    project: Project,
+    fn: FuncInfo,
+    call,
+    callees: set[str],
+    unresolved: set[str],
+) -> None:
+    receivers = _receiver_classes(project, fn, call)
+    if not receivers:
+        unresolved.add(call.attr)
+        return
+    found = False
+    for cls in receivers:
+        target = project.resolve_method(cls, call.attr)
+        if target is not None:
+            callees.add(target.qualname)
+            found = True
+        # Virtual dispatch: overrides in subclasses of the static type.
+        for sub in project.all_subclasses(cls):
+            override = sub.methods.get(call.attr)
+            if override is not None and override in project.functions:
+                callees.add(override)
+                found = True
+    if not found:
+        unresolved.add(call.attr)

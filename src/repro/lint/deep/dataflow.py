@@ -1,0 +1,122 @@
+"""Reachability and flow helpers shared by the deep rules.
+
+The call graph is a plain ``dict[str, tuple[str, ...]]`` of qualname
+edges; these helpers implement the three traversals every D-rule needs:
+
+- :func:`reachable` — forward closure from a root set (D101/D103/D104
+  scope discovery);
+- :func:`shortest_path` — one witness call chain per finding, so a
+  violation message can print ``replay -> _admit -> random.random``
+  instead of a bare location;
+- :func:`covered_fixpoint` — D102's "every path reaches an accounting
+  sink" check: a node is covered when it owns a sink or when *all* of
+  its entry-reachable callers are covered (so a NAND op with no
+  accounting anywhere upstream surfaces exactly once, at the deepest
+  uncovered caller).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+
+def reachable(
+    edges: dict[str, tuple[str, ...]], roots: Iterable[str]
+) -> set[str]:
+    """Forward transitive closure (roots included), cycle-safe."""
+    seen: set[str] = set()
+    stack = [r for r in roots]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(edges.get(node, ()))
+    return seen
+
+
+def shortest_path(
+    edges: dict[str, tuple[str, ...]],
+    roots: Iterable[str],
+    target: str,
+) -> list[str]:
+    """BFS witness path from any root to ``target`` ([] if unreachable)."""
+    parents: dict[str, str | None] = {}
+    queue: deque[str] = deque()
+    for root in roots:
+        if root not in parents:
+            parents[root] = None
+            queue.append(root)
+    while queue:
+        node = queue.popleft()
+        if node == target:
+            path = [node]
+            while parents[path[-1]] is not None:
+                path.append(parents[path[-1]])  # type: ignore[arg-type]
+            path.reverse()
+            return path
+        for callee in edges.get(node, ()):
+            if callee not in parents:
+                parents[callee] = node
+                queue.append(callee)
+    return []
+
+
+def reverse_edges(edges: dict[str, tuple[str, ...]]) -> dict[str, tuple[str, ...]]:
+    """Callee -> callers map."""
+    rev: dict[str, list[str]] = {}
+    for caller, callees in edges.items():
+        for callee in callees:
+            rev.setdefault(callee, []).append(caller)
+    return {k: tuple(sorted(v)) for k, v in rev.items()}
+
+
+def covered_fixpoint(
+    edges: dict[str, tuple[str, ...]],
+    entry_reachable: set[str],
+    needs_cover: set[str],
+    has_sink: set[str],
+) -> set[str]:
+    """D102's accounting-completeness core.
+
+    A node in ``needs_cover`` (it performs a NAND op) is *covered* when:
+
+    - an accounting sink is forward-reachable from it (``has_sink`` holds
+      every function owning a sink; forward reachability is checked by
+      the caller and folded into ``has_sink`` membership), or
+    - it has at least one entry-reachable caller and **all** of its
+      entry-reachable callers are covered (the accounting happens one
+      frame up, as in ``ZNSDevice.append`` charging for the inlined
+      ``nand.program``).
+
+    Returns the subset of ``needs_cover`` that is NOT covered.
+    """
+    rev = reverse_edges(edges)
+    covered: set[str] = set()
+    pending = set(needs_cover)
+    # Seed: direct sink owners are covered.
+    for node in list(pending):
+        if node in has_sink:
+            covered.add(node)
+            pending.discard(node)
+
+    def caller_covered(fn: str, seen: set[str]) -> bool:
+        """Is every entry-reachable caller path of ``fn`` accounted?"""
+        if fn in has_sink:
+            return True
+        if fn in seen:  # recursion: optimistic (cycles can't add cover)
+            return False
+        callers = [c for c in rev.get(fn, ()) if c in entry_reachable]
+        if not callers:
+            return False
+        seen = seen | {fn}
+        return all(c in has_sink or caller_covered(c, seen) for c in callers)
+
+    uncovered: set[str] = set()
+    for node in sorted(pending):
+        if caller_covered(node, set()):
+            covered.add(node)
+        else:
+            uncovered.add(node)
+    return uncovered

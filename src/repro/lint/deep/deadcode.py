@@ -1,0 +1,93 @@
+"""Dead-code report over the whole-program call graph.
+
+Liveness roots are everything with an external caller the graph cannot
+see: module top-level code (imports, registries, script bodies), test
+functions, dunder methods (invoked by protocol), and CLI ``main``s.
+From there liveness is a fixpoint: forward call-graph reachability,
+plus a conservative *name-reference* step — any function whose bare
+name is referenced (or left unresolved) by a live function is live too,
+so callbacks passed by name, ``getattr`` dispatch and re-exports via
+``__all__`` never get reported.  Only ``src/repro`` symbols are
+reported; tests/benchmarks/examples are root material, not targets.
+"""
+
+from __future__ import annotations
+
+from repro.lint.deep.callgraph import Project
+from repro.lint.deep.dataflow import reachable
+from repro.lint.engine import Violation
+
+
+def _root_qualnames(project: Project) -> set[str]:
+    roots: set[str] = set()
+    for fn in project.functions.values():
+        if fn.name == "<module>":
+            roots.add(fn.qualname)
+        elif fn.module.startswith("tests.") or fn.module == "tests":
+            roots.add(fn.qualname)
+        elif fn.name.startswith("__") and fn.name.endswith("__"):
+            roots.add(fn.qualname)
+        elif fn.name == "main":
+            roots.add(fn.qualname)
+        elif any("property" in d or "cached_property" in d for d in fn.decorators):
+            # Properties are read as attributes, never called by name.
+            roots.add(fn.qualname)
+    return roots
+
+
+def _referenced_name_pool(project: Project, live: set[str]) -> set[str]:
+    names: set[str] = set()
+    for qual in live:
+        fn = project.functions.get(qual)
+        if fn is None:
+            continue
+        names.update(fn.referenced_names)
+        names.update(project.unresolved_attrs.get(qual, ()))
+    for mod in project.modules.values():
+        names.update(mod.exports)
+    return names
+
+
+def find_dead(project: Project) -> list[Violation]:
+    """Symbols in ``src/repro`` unreachable from any liveness root."""
+    live = reachable(project.edges, _root_qualnames(project))
+    # Name-reference fixpoint: referenced-by-name => live, which can
+    # make more references visible.
+    while True:
+        pool = _referenced_name_pool(project, live)
+        extra = {
+            fn.qualname
+            for fn in project.functions.values()
+            if fn.qualname not in live and fn.name in pool
+        }
+        if not extra:
+            break
+        live = reachable(project.edges, live | extra)
+
+    out: list[Violation] = []
+    for fn in sorted(project.functions.values(), key=lambda f: f.qualname):
+        if fn.qualname in live:
+            continue
+        if not fn.module.startswith("repro."):
+            continue
+        if fn.parent is not None and fn.parent not in live:
+            continue  # nested inside an already-dead function: one report
+        mod = next(
+            (m for m in project.modules.values() if m.module == fn.module), None
+        )
+        if mod is None:
+            continue
+        label = f"{fn.cls}.{fn.name}" if fn.cls else fn.name
+        out.append(
+            Violation(
+                path=mod.path,
+                line=fn.lineno,
+                col=0,
+                code="W002",
+                message=(
+                    f"`{label}` is unreachable from any CLI/test/module "
+                    "entry point (dead code)"
+                ),
+            )
+        )
+    return out

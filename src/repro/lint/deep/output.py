@@ -1,0 +1,126 @@
+"""JSON and SARIF renderers for lint results.
+
+The JSON shape is snapshot-tested (tests/lint/test_deep_cli.py); SARIF
+targets the 2.1.0 minimum that GitHub code scanning ingests, so deep
+findings annotate PR diffs via the upload action in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Sequence
+
+from repro.lint.engine import Violation
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def rule_catalog() -> list[dict[str, str]]:
+    """Every rule the driver can emit: shallow, deep, and warnings."""
+    from repro.lint.deep.rules import DEEP_RULES
+    from repro.lint.rules import ALL_RULES
+
+    catalog = [
+        {
+            "id": rule.code,
+            "description": (rule.__doc__ or rule.name).strip().splitlines()[0],
+        }
+        for rule in ALL_RULES
+    ]
+    catalog.extend(
+        {"id": code, "description": description}
+        for code, description, _ in DEEP_RULES
+    )
+    catalog.append(
+        {"id": "W001", "description": "unused `# reprolint: disable` comment"}
+    )
+    catalog.append(
+        {"id": "W002", "description": "symbol unreachable from any entry point"}
+    )
+    catalog.append({"id": "E999", "description": "file failed to parse"})
+    return catalog
+
+
+def render_json(
+    violations: Sequence[Violation],
+    *,
+    summary: dict[str, object] | None = None,
+) -> str:
+    payload = {
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "code": v.code,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "summary": dict(summary or {}),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_sarif(
+    violations: Sequence[Violation],
+    *,
+    tool_name: str = "reprolint",
+    rules: Iterable[dict[str, str]] | None = None,
+) -> str:
+    rule_list = list(rules) if rules is not None else rule_catalog()
+    emitted_ids = sorted({v.code for v in violations})
+    known = {r["id"] for r in rule_list}
+    rule_list.extend(
+        {"id": code, "description": code} for code in emitted_ids if code not in known
+    )
+    index = {r["id"]: i for i, r in enumerate(rule_list)}
+    sarif = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": tool_name,
+                        "informationUri": "https://example.invalid/reprolint",
+                        "rules": [
+                            {
+                                "id": r["id"],
+                                "shortDescription": {"text": r["description"]},
+                            }
+                            for r in rule_list
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": v.code,
+                        "ruleIndex": index[v.code],
+                        "level": "warning" if v.code.startswith("W") else "error",
+                        "message": {"text": v.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": v.path,
+                                        "uriBaseId": "%SRCROOT%",
+                                    },
+                                    "region": {
+                                        "startLine": v.line,
+                                        "startColumn": max(v.col, 0) + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for v in violations
+                ],
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True) + "\n"

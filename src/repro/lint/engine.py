@@ -18,6 +18,11 @@ from pathlib import Path
 #: Directories (relative to the repo root) reprolint scans by default.
 DEFAULT_SCAN_ROOTS = ("src/repro", "benchmarks", "tests")
 
+#: Subtrees never scanned: lint fixtures contain deliberate violations
+#: (the deep-rule packages under tests/lint/fixtures/ exist to trip
+#: D101-D105), so the repo-tree-is-clean invariant must not see them.
+EXCLUDED_SUBTREES = ("tests/lint/fixtures",)
+
 #: ``# reprolint: disable=R001`` or ``disable=R001,R003`` or ``disable=all``.
 _SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
 
@@ -114,14 +119,65 @@ def iter_python_files(
     root: Path, scan_roots: Sequence[str] = DEFAULT_SCAN_ROOTS
 ) -> Iterator[Path]:
     """Yield the ``.py`` files under ``root``'s scan directories, sorted."""
+    excluded = tuple((root / sub).resolve() for sub in EXCLUDED_SUBTREES)
+
+    def keep(path: Path) -> bool:
+        resolved = path.resolve()
+        return not any(resolved.is_relative_to(ex) for ex in excluded)
+
     for scan in scan_roots:
         base = root / scan
         if base.is_file() and base.suffix == ".py":
-            yield base
+            if keep(base):
+                yield base
             continue
         if not base.is_dir():
             continue
-        yield from sorted(base.rglob("*.py"))
+        yield from (p for p in sorted(base.rglob("*.py")) if keep(p))
+
+
+def unused_suppression_violations(
+    path: str,
+    source: str,
+    raw_violations: Iterable[Violation],
+    ran_codes: set[str],
+) -> list[Violation]:
+    """W001: ``# reprolint: disable=CODE`` comments that silence nothing.
+
+    Only genuine comments count (tokenize-based discovery, so docstring
+    mentions of the syntax don't register), and a code is only judged
+    when its rule actually ran on this file (``ran_codes``) — otherwise
+    a ``--select`` run would flag every suppression as stale.
+    """
+    from repro.lint.deep.symbols import parse_suppression_comments
+
+    hits = {(v.line, v.code) for v in raw_violations}
+    hit_lines = {v.line for v in raw_violations}
+    out: list[Violation] = []
+    for comment in parse_suppression_comments(source):
+        for code in comment.codes:
+            if code == "all":
+                if not ran_codes:
+                    continue
+                used = any(ln in hit_lines for ln in comment.effective_lines)
+            else:
+                if code not in ran_codes:
+                    continue
+                used = any((ln, code) in hits for ln in comment.effective_lines)
+            if not used:
+                out.append(
+                    Violation(
+                        path=path,
+                        line=comment.line,
+                        col=0,
+                        code="W001",
+                        message=(
+                            f"unused suppression: disable={code} "
+                            "silences no finding on its effective lines"
+                        ),
+                    )
+                )
+    return out
 
 
 def lint_source(
@@ -130,35 +186,50 @@ def lint_source(
     *,
     zone: str | None = None,
     select: Iterable[str] | None = None,
+    report_unused: bool = False,
 ) -> list[Violation]:
     """Lint a source string; ``zone`` overrides path-based zoning.
 
     This is the entry point the linter's own unit tests use: fixture
     snippets claim a zone explicitly instead of living at a real path.
+    ``report_unused`` adds W001 findings for stale suppressions (the CLI
+    turns it on; unit-test fixtures that exercise suppression semantics
+    keep the default off).
     """
     from repro.lint.rules import ALL_RULES
 
     ctx = build_context(path, source, zone=zone)
     wanted = set(select) if select is not None else None
-    violations: list[Violation] = []
+    raw: list[Violation] = []
+    ran_codes: set[str] = set()
     for rule in ALL_RULES:
         if wanted is not None and rule.code not in wanted:
             continue
         if not rule.applies(ctx):
             continue
-        for violation in rule.check(ctx):
-            if not ctx.is_suppressed(violation.line, violation.code):
-                violations.append(violation)
+        ran_codes.add(rule.code)
+        raw.extend(rule.check(ctx))
+    violations = [v for v in raw if not ctx.is_suppressed(v.line, v.code)]
+    if report_unused and (wanted is None or "W001" in wanted):
+        violations.extend(
+            unused_suppression_violations(path, source, raw, ran_codes)
+        )
     violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return violations
 
 
 def lint_file(
-    path: Path, rel_path: str, *, select: Iterable[str] | None = None
+    path: Path,
+    rel_path: str,
+    *,
+    select: Iterable[str] | None = None,
+    report_unused: bool = False,
 ) -> list[Violation]:
     source = path.read_text(encoding="utf-8")
     try:
-        return lint_source(source, rel_path, select=select)
+        return lint_source(
+            source, rel_path, select=select, report_unused=report_unused
+        )
     except SyntaxError as exc:
         return [
             Violation(
@@ -176,11 +247,14 @@ def lint_paths(
     paths: Sequence[str] | None = None,
     *,
     select: Iterable[str] | None = None,
+    report_unused: bool = False,
 ) -> list[Violation]:
     """Lint files under ``root``; ``paths`` defaults to the scan roots."""
     scan_roots = tuple(paths) if paths else DEFAULT_SCAN_ROOTS
     violations: list[Violation] = []
     for file_path in iter_python_files(root, scan_roots):
         rel = file_path.relative_to(root).as_posix()
-        violations.extend(lint_file(file_path, rel, select=select))
+        violations.extend(
+            lint_file(file_path, rel, select=select, report_unused=report_unused)
+        )
     return violations

@@ -13,6 +13,7 @@ and DELETE (user-driven removal — distinct from cache-driven eviction).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -74,13 +75,13 @@ class Trace:
     sizes: np.ndarray
     name: str = "trace"
     num_keys: int = 0
-    meta: dict = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.ops = np.asarray(self.ops, dtype=np.uint8)
         self.keys = np.asarray(self.keys, dtype=np.int64)
         self.sizes = np.asarray(self.sizes, dtype=np.int64)
-        self._column_cache: dict[tuple, TraceColumns] = {}
+        self._column_cache: dict[tuple[int, int, int | None], TraceColumns] = {}
         # Scratch cache for replay kernels (harness/columnar.py): holds
         # decision columns that are pure functions of this trace, keyed
         # by the kernel's own (name, params) tuples.  Sliced/repeated

@@ -1,0 +1,9 @@
+"""Minimal engine base for the D101 positive fixture."""
+
+
+class CacheEngine:
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        raise NotImplementedError
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        raise NotImplementedError

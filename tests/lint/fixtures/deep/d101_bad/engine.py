@@ -1,0 +1,14 @@
+from base import CacheEngine
+from helper import admit_probability
+
+
+class JitterEngine(CacheEngine):
+    def __init__(self) -> None:
+        self.size = 0
+
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        return key % 2 == 0
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        if admit_probability(size) > 0.5:
+            self.size += size

@@ -1,0 +1,5 @@
+from engine import JitterEngine
+
+
+def make_engine(name: str) -> JitterEngine:
+    return JitterEngine()

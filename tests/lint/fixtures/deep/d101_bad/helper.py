@@ -1,0 +1,12 @@
+"""Unseeded draw two calls away from the engine entry point."""
+
+import random
+
+
+def jitter() -> float:
+    # D101 true positive: global-stream draw on a replay-reachable path.
+    return random.random()
+
+
+def admit_probability(size: int) -> float:
+    return jitter() / max(size, 1)

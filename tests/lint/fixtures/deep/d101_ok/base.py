@@ -1,0 +1,6 @@
+class CacheEngine:
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        raise NotImplementedError
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        raise NotImplementedError

@@ -1,0 +1,18 @@
+"""Negative fixture: every draw descends from a seeded stream."""
+
+import random
+
+from base import CacheEngine
+
+
+class SeededEngine(CacheEngine):
+    def __init__(self, seed: int = 7) -> None:
+        self.size = 0
+        self._rng = random.Random(seed)
+
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        return key % 2 == 0
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        if self._rng.random() > 0.5:
+            self.size += size

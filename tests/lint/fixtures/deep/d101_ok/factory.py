@@ -1,0 +1,5 @@
+from engine import SeededEngine
+
+
+def make_engine(name: str) -> SeededEngine:
+    return SeededEngine()

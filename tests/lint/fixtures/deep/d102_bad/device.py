@@ -1,0 +1,14 @@
+class NandArray:
+    def program(self, block: int, page: int) -> None:
+        pass
+
+    def erase_block(self, block: int) -> None:
+        pass
+
+
+class FlashStats:
+    def __init__(self) -> None:
+        self.host_write_bytes = 0
+
+    def record_host_write(self, nbytes: int) -> None:
+        self.host_write_bytes += nbytes

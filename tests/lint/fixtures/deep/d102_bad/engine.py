@@ -1,0 +1,18 @@
+"""D102 true positive: flash writes the WA accounting never sees."""
+
+from base import CacheEngine
+from device import FlashStats, NandArray
+
+
+class LeakyEngine(CacheEngine):
+    def __init__(self) -> None:
+        self.nand = NandArray()
+        self.stats = FlashStats()
+
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        return False
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        # Burns a NAND program with no FlashStats mutation anywhere on
+        # the path (neither here nor in any caller/callee).
+        self.nand.program(0, key % 64)

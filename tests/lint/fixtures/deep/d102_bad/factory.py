@@ -1,0 +1,5 @@
+from engine import LeakyEngine
+
+
+def make_engine(name: str) -> LeakyEngine:
+    return LeakyEngine()

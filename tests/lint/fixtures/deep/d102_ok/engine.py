@@ -1,0 +1,17 @@
+"""Negative fixture: the NAND op's caller charges FlashStats."""
+
+from base import CacheEngine
+from device import FlashStats, NandArray
+
+
+class AccountedEngine(CacheEngine):
+    def __init__(self) -> None:
+        self.nand = NandArray()
+        self.stats = FlashStats()
+
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        return False
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        self.nand.program(0, key % 64)
+        self.stats.record_host_write(size)

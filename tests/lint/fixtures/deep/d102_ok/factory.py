@@ -1,0 +1,5 @@
+from engine import AccountedEngine
+
+
+def make_engine(name: str) -> AccountedEngine:
+    return AccountedEngine()

@@ -1,0 +1,34 @@
+# reprolint: columnar-kernel-zone
+"""D103 positive: a decision pass mutates the engine mid-decision."""
+
+
+class Engine:
+    def __init__(self) -> None:
+        self.head = 0
+
+    def insert(self, key: int, size: int) -> None:
+        self.head += size
+
+
+class KernelSpec:
+    def __init__(self, name=None, replay=None):
+        self.name = name
+        self.replay = replay
+
+
+def _decide(engine, keys):
+    # Decision passes must be pure: this store is the violation.
+    engine.head = len(keys)
+    return [k for k in keys if k % 2 == 0]
+
+
+def replay_columnar(engine, keys):
+    plan = _decide(engine, keys)
+    for key in plan:
+        engine.insert(key, 1)
+    return len(plan)
+
+
+KERNEL_REGISTRY = {
+    Engine: KernelSpec(name="bad", replay=replay_columnar),
+}

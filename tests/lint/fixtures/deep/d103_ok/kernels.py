@@ -1,0 +1,34 @@
+# reprolint: columnar-kernel-zone
+"""Negative fixture: pure decision pass, mutation in the replay driver."""
+
+
+class Engine:
+    def __init__(self) -> None:
+        self.head = 0
+
+    def insert(self, key: int, size: int) -> None:
+        self.head += size
+
+
+class KernelSpec:
+    def __init__(self, name=None, replay=None):
+        self.name = name
+        self.replay = replay
+
+
+def _decide(engine, keys):
+    return [k for k in keys if k % 2 == 0]
+
+
+def replay_columnar(engine, keys):
+    plan = _decide(engine, keys)
+    # The registered replay driver is the audited mutation surface.
+    for key in plan:
+        engine.insert(key, 1)
+    engine.head = len(plan)
+    return len(plan)
+
+
+KERNEL_REGISTRY = {
+    Engine: KernelSpec(name="ok", replay=replay_columnar),
+}

@@ -1,0 +1,34 @@
+"""Two D104 positives: a protocol hole and a wall-clock recovery."""
+
+import time
+
+from base import CacheEngine
+
+
+class NoCrashEngine(CacheEngine):
+    """Registered engine that never overrides crash/recover."""
+
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        return False
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        pass
+
+
+class ClockEngine(CacheEngine):
+    """Recover path reads the wall clock (nondeterministic recovery)."""
+
+    def __init__(self) -> None:
+        self.recovered_at = 0.0
+
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        return False
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        pass
+
+    def crash(self) -> None:
+        pass
+
+    def recover(self) -> None:
+        self.recovered_at = time.time()

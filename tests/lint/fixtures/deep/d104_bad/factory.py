@@ -1,0 +1,7 @@
+from engine import ClockEngine, NoCrashEngine
+
+
+def make_engine(name: str):
+    if name == "nocrash":
+        return NoCrashEngine()
+    return ClockEngine()

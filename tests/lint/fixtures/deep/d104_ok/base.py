@@ -1,0 +1,16 @@
+class EngineStateError(RuntimeError):
+    pass
+
+
+class CacheEngine:
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        raise NotImplementedError
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        raise NotImplementedError
+
+    def crash(self) -> None:
+        raise EngineStateError("engine does not model crashes")
+
+    def recover(self) -> None:
+        raise EngineStateError("engine does not model crashes")

@@ -1,0 +1,22 @@
+"""Negative fixture: total, deterministic crash protocol."""
+
+from base import CacheEngine
+
+
+class DurableEngine(CacheEngine):
+    def __init__(self) -> None:
+        self.alive = True
+        self.epoch = 0
+
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        return self.alive
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        pass
+
+    def crash(self) -> None:
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+        self.epoch += 1

@@ -1,0 +1,5 @@
+from engine import DurableEngine
+
+
+def make_engine(name: str) -> DurableEngine:
+    return DurableEngine()

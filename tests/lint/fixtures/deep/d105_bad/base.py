@@ -1,0 +1,31 @@
+class CacheEngine:
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        raise NotImplementedError
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        raise NotImplementedError
+
+    def delete(self, key: int) -> bool:
+        return False
+
+    def lookup_many(
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+        record: object | None = None,
+    ) -> float:
+        return now_us
+
+    def insert_many(
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+    ) -> float:
+        return now_us
+
+    def delete_many(self, keys: list[int], now_us: float, step_us: float) -> float:
+        return now_us

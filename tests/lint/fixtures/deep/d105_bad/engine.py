@@ -1,0 +1,32 @@
+"""D105 positives: renamed base parameter + changed default."""
+
+from base import CacheEngine
+
+
+class DriftEngine(CacheEngine):
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        return False
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        pass
+
+    def lookup_many(
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+        record: object | None = 0,
+    ) -> float:
+        # Default drift: base says record=None, this says record=0.
+        return now_us
+
+    def insert_many(
+        self,
+        keys: list[int],
+        lengths: list[int],
+        now_us: float,
+        step_us: float,
+    ) -> float:
+        # Renamed base parameter: ``sizes`` became ``lengths``.
+        return now_us

@@ -1,0 +1,5 @@
+from engine import DriftEngine
+
+
+def make_engine(name: str) -> DriftEngine:
+    return DriftEngine()

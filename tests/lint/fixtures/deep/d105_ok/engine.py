@@ -1,0 +1,23 @@
+"""Negative fixture: overrides agree with the base, extras defaulted."""
+
+from base import CacheEngine
+
+
+class ParityEngine(CacheEngine):
+    def lookup(self, key: int, size: int, now_us: float = 0.0) -> bool:
+        return False
+
+    def insert(self, key: int, size: int, now_us: float = 0.0) -> None:
+        pass
+
+    def lookup_many(
+        self,
+        keys: list[int],
+        sizes: list[int],
+        now_us: float,
+        step_us: float,
+        record: object | None = None,
+        *,
+        offsets: list[int] | None = None,
+    ) -> float:
+        return now_us

@@ -1,0 +1,5 @@
+from engine import ParityEngine
+
+
+def make_engine(name: str) -> ParityEngine:
+    return ParityEngine()
