@@ -1,0 +1,105 @@
+"""Device-lane benchmarks: analytic vs discrete-event (DESIGN.md §9).
+
+Three cells on the fig15 micro Nemo configuration:
+
+- ``analytic`` — the per-channel horizon model, the default lane whose
+  absolute floors live in ``BENCH_replay.json``;
+- ``event`` — the same replay on the devsim event lane.  Its
+  ``capacity_requests_per_sec`` must stay within 10x of the analytic
+  cell's (``scaling_reference`` / ``scaling_floor`` gate in
+  ``check_regression.py``): the event lane pays for per-die queues and
+  suspend-resume, but an order of magnitude is the acceptance budget;
+- ``closed_loop_event`` — the fig15_tail datapath (bursty arrivals,
+  bounded queue depth, two priority classes) so the frontend
+  scheduler's overhead has a tracked trajectory too.
+
+``benchmarks/save_baseline.py --only devsim`` records these as
+``BENCH_devsim.json``.  ``BENCH_ENGINE_ROUNDS`` trades precision for
+runtime (default 3; CI smoke uses 1).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.nemo import NemoCache
+from repro.experiments.common import nemo_config, scale_params, twitter_trace
+from repro.experiments.fig15_tail import (
+    ARRIVAL_RATE_RPS,
+    ARRIVAL_SEED,
+    CLASS_NAMES,
+    CLASS_SEED,
+    CLASS_SHARES,
+    QUEUE_DEPTH,
+)
+from repro.flash.devsim import make_latency_model
+from repro.harness.closed_loop import replay_closed_loop
+from repro.harness.runner import replay
+from repro.workloads.arrivals import assign_classes, bursty_arrivals
+
+ROUNDS = int(os.environ.get("BENCH_ENGINE_ROUNDS", "3"))
+
+#: The event lane must keep at least this fraction of the analytic
+#: lane's replay capacity (i.e. stay within 10x wall-clock).
+EVENT_SCALING_FLOOR = 0.1
+
+
+def _bench_lane(benchmark, lane: str) -> None:
+    geometry, num_requests = scale_params("micro")
+    trace = twitter_trace(num_requests)
+    best = {"rps": 0.0}
+
+    def run():
+        engine = NemoCache(geometry, nemo_config())
+        result = replay(
+            engine, trace, latency_lane=lane, record_latency=True
+        )
+        rps = result.num_requests / max(result.wall_seconds, 1e-9)
+        if rps > best["rps"]:
+            best["rps"] = rps
+        return result
+
+    result = benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["latency_lane"] = lane
+    benchmark.extra_info["num_requests"] = result.num_requests
+    benchmark.extra_info["wa"] = result.final["wa"]
+    benchmark.extra_info["miss_ratio"] = result.miss_ratio
+    benchmark.extra_info["capacity_requests_per_sec"] = best["rps"]
+
+
+def test_devsim_replay_analytic(benchmark):
+    _bench_lane(benchmark, "analytic")
+
+
+def test_devsim_replay_event(benchmark):
+    _bench_lane(benchmark, "event")
+    benchmark.extra_info["scaling_reference"] = "test_devsim_replay_analytic"
+    benchmark.extra_info["scaling_floor"] = EVENT_SCALING_FLOOR
+
+
+def test_devsim_closed_loop_event(benchmark):
+    geometry, num_requests = scale_params("micro")
+    trace = twitter_trace(num_requests)
+    arrivals = bursty_arrivals(num_requests, ARRIVAL_RATE_RPS, seed=ARRIVAL_SEED)
+    classes = assign_classes(num_requests, CLASS_SHARES, seed=CLASS_SEED)
+
+    def run():
+        engine = NemoCache(
+            geometry,
+            nemo_config(),
+            latency=make_latency_model("event", num_channels=8),
+        )
+        return replay_closed_loop(
+            engine,
+            trace,
+            arrival_us=arrivals,
+            class_ids=classes,
+            class_names=CLASS_NAMES,
+            queue_depth=QUEUE_DEPTH,
+        )
+
+    result = benchmark.pedantic(run, rounds=ROUNDS, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["num_requests"] = result.num_requests
+    benchmark.extra_info["queue_depth"] = result.queue_depth
+    benchmark.extra_info["max_outstanding"] = result.max_outstanding
+    benchmark.extra_info["events_fired"] = result.events_fired

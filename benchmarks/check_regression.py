@@ -37,6 +37,7 @@ SUITES = {
     "engines": ("bench_engines.py", "BENCH_engines.json"),
     "replay": ("bench_replay.py", "BENCH_replay.json"),
     "cluster": ("bench_cluster.py", "BENCH_cluster.json"),
+    "devsim": ("bench_devsim.py", "BENCH_devsim.json"),
 }
 
 

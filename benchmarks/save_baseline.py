@@ -18,7 +18,12 @@ output into small files at the repo root:
 - ``BENCH_cluster.json`` — sharded-cluster replay (DESIGN.md §8):
   1-shard and 8-shard critical-path capacity plus the metered lane,
   with the 8-over-1 capacity scaling ratio ``check_regression.py``
-  floors at 3x.
+  floors at 3x;
+- ``BENCH_devsim.json`` — device-lane replay (DESIGN.md §9): the fig15
+  micro Nemo cell on the analytic and event lanes plus the closed-loop
+  fig15_tail datapath, with the event-over-analytic capacity ratio
+  ``check_regression.py`` floors at 0.1x (event within 10x of
+  analytic).
 
 Usage::
 
@@ -245,11 +250,26 @@ def save_cluster() -> None:
     _write(REPO_ROOT / "BENCH_cluster.json", payload)
 
 
+def save_devsim() -> None:
+    benches = summarise(run_suite("bench_devsim.py"))
+    payload: dict = {"benchmarks": benches}
+    analytic = benches.get("test_devsim_replay_analytic")
+    event = benches.get("test_devsim_replay_event")
+    if analytic and event:
+        cap_a = (analytic.get("extra_info") or {}).get(
+            "capacity_requests_per_sec"
+        )
+        cap_e = (event.get("extra_info") or {}).get("capacity_requests_per_sec")
+        if cap_a and cap_e:
+            payload["capacity_event_over_analytic"] = cap_e / cap_a
+    _write(REPO_ROOT / "BENCH_devsim.json", payload)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--only",
-        choices=["core_ops", "replay", "engines", "cluster"],
+        choices=["core_ops", "replay", "engines", "cluster", "devsim"],
         default=None,
         help="record just one suite (default: all)",
     )
@@ -270,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
         save_engines()
     if args.only in (None, "cluster"):
         save_cluster()
+    if args.only in (None, "devsim"):
+        save_devsim()
     return 0
 
 

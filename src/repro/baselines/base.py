@@ -27,6 +27,7 @@ from typing import Callable
 
 from repro.errors import EngineStateError
 from repro.faults.plan import FaultPlan
+from repro.flash.latency import LatencyModel
 from repro.flash.stats import FlashStats
 
 
@@ -115,6 +116,30 @@ class CacheEngine(abc.ABC):
         accept ``offsets=`` in ``lookup_many``/``insert_many`` and
         produce byte-identical metrics with or without it."""
         return None
+
+    # ------------------------------------------------------------------
+    # Latency lanes (DESIGN.md §9)
+    # ------------------------------------------------------------------
+    def install_latency_model(self, model: LatencyModel | None) -> None:
+        """Attach (or with None, detach) a device latency model.
+
+        Engines with more than one device override this; the default
+        forwards to ``self.device``'s ``latency`` slot.  Swapping lanes
+        on a live engine is legal: the model only *times* device
+        operations, so aggregate counters (WA, miss ratio, op counts)
+        are lane-invariant — the metric-parity suite asserts exactly
+        that.
+        """
+        device = getattr(self, "device", None)
+        if device is None:
+            raise EngineStateError(
+                f"{type(self).__name__} has no device to install a latency model on"
+            )
+        device.latency = model
+
+    def latency_model(self) -> LatencyModel | None:
+        """The currently attached device latency model (None when bare)."""
+        return getattr(getattr(self, "device", None), "latency", None)
 
     # ------------------------------------------------------------------
     # Fault injection & crash recovery (DESIGN.md §7)

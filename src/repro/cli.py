@@ -129,6 +129,15 @@ def faults_main(argv: list[str]) -> int:
     parser.add_argument("--flush-threshold", type=int, default=8)
     parser.add_argument("--sgs-per-index-group", type=int, default=4)
     parser.add_argument("--cached-index-ratio", type=float, default=0.5)
+    from repro.flash.devsim import LATENCY_LANES
+
+    parser.add_argument(
+        "--latency-lane",
+        default=None,
+        choices=LATENCY_LANES,
+        help="device timing lane for the faulty replay (default: "
+        "$REPRO_LATENCY_LANE or no timing model)",
+    )
     args = parser.parse_args(argv)
 
     geometry = FlashGeometry(
@@ -166,7 +175,12 @@ def faults_main(argv: list[str]) -> int:
         engine = build_engine(name, geometry, args)
         note = ""
         try:
-            result = replay(engine, trace, faults=FaultPlan(config))
+            result = replay(
+                engine,
+                trace,
+                faults=FaultPlan(config),
+                latency_lane=args.latency_lane,
+            )
             miss = result.miss_ratio
             crashes = result.crashes
         except DeviceRetiredError:
@@ -220,7 +234,8 @@ def replay_main(argv: list[str]) -> int:
     """
     from repro.harness.columnar import kernel_ineligible_reason
     from repro.harness.parallel import replay_sharded
-    from repro.harness.runner import REPLAY_KERNELS
+    from repro.flash.devsim import LATENCY_LANES
+    from repro.harness.runner import LATENCY_PERCENTILES, REPLAY_KERNELS
 
     parser = argparse.ArgumentParser(
         prog="python -m repro replay",
@@ -249,6 +264,14 @@ def replay_main(argv: list[str]) -> int:
         "parallel columnar lane; metrics stay byte-identical)",
     )
     parser.add_argument(
+        "--latency-lane",
+        default=None,
+        choices=LATENCY_LANES,
+        help="device timing lane: analytic (per-channel horizons) or "
+        "event (discrete-event devsim); default: $REPRO_LATENCY_LANE "
+        "or no timing model",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None, help="worker processes for shards"
     )
     parser.add_argument("--sample-every", type=int, default=None)
@@ -263,6 +286,13 @@ def replay_main(argv: list[str]) -> int:
             f"--shards {args.shards} requires the columnar kernel "
             f"(the sharded lane is built on it); drop --kernel "
             f"{args.kernel} or run without --shards"
+        )
+    if args.shards > 1 and args.latency_lane is not None:
+        parser.error(
+            f"--shards {args.shards} cannot carry --latency-lane "
+            f"{args.latency_lane}: a latency model needs per-request "
+            "timing, which demotes the whole-trace kernels the sharded "
+            "lane is built on; run without --shards for timed replay"
         )
 
     geometry = FlashGeometry(
@@ -308,10 +338,20 @@ def replay_main(argv: list[str]) -> int:
                 trace,
                 sample_every=args.sample_every,
                 kernel=args.kernel,
+                latency_lane=args.latency_lane,
+                record_latency=args.latency_lane is not None,
                 progress=args.progress,
             )
         for note in result.notes:
             print(f"warning: {engine.name}: {note}")
+        if result.latency_lane is not None and len(result.latency):
+            p = result.latency.percentiles(LATENCY_PERCENTILES)
+            print(
+                f"latency[{result.latency_lane}] {engine.name}: "
+                + " ".join(
+                    f"p{q:g}={p[q]:.0f}us" for q in LATENCY_PERCENTILES
+                )
+            )
         rows.append(
             [
                 engine.name,

@@ -40,9 +40,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--scale",
-        choices=["small", "full"],
+        choices=["micro", "small", "full"],
         default="small",
-        help="small = seconds per experiment; full = EXPERIMENTS.md scale",
+        help=(
+            "micro = the test suite's sub-second cells (CI smoke); "
+            "small = seconds per experiment; full = EXPERIMENTS.md scale"
+        ),
     )
     parser.add_argument(
         "--jobs",

@@ -57,6 +57,10 @@ _SPECS: dict[str, tuple[str, str]] = {
         "repro.experiments.fig15_read_latency",
         "Read latency p50/p99/p9999 before/after flash is full",
     ),
+    "fig15_tail": (
+        "repro.experiments.fig15_tail",
+        "Closed-loop GET sojourn tails on the event device lane",
+    ),
     "fig16": (
         "repro.experiments.fig16_miss_ratio",
         "Miss-ratio trend (Nemo vs FW)",

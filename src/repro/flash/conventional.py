@@ -49,6 +49,15 @@ class ConventionalSSD:
         self.ftl.install_fault_plan(plan)
 
     @property
+    def latency(self) -> LatencyModel | None:
+        """The FTL's latency model (settable: lane swaps forward here)."""
+        return self.ftl.latency
+
+    @latency.setter
+    def latency(self, model: LatencyModel | None) -> None:
+        self.ftl.latency = model
+
+    @property
     def fault_plan(self) -> FaultPlan | None:
         return self.ftl.fault_plan
 

@@ -1,0 +1,134 @@
+"""Front-end issue scheduler: arrivals, queue depth, priority classes.
+
+The frontend sits between an arrival process and a *service function*
+(anything that maps ``(request_index, issue_time_us) -> service
+latency_us`` — the closed-loop replay harness wires it to a cache
+engine whose device carries a latency model).  Two issue disciplines:
+
+- **Open loop** (``queue_depth=None``): every request issues at its
+  arrival time regardless of outstanding work — the discipline the
+  batched replay lane implements implicitly with its fixed
+  inter-arrival clock.
+- **Closed loop** (``queue_depth=N``): at most N requests are in
+  flight; arrivals beyond that wait in per-class FIFO queues and issue
+  when a slot frees, lowest class id first (class 0 is the
+  highest-priority tier).  Sojourn time (completion − arrival) then
+  includes queueing delay, which is what makes bursty tails visible.
+
+Arrival times and class ids come in as plain arrays precomputed by
+:mod:`repro.workloads.arrivals` from seeded streams; the frontend
+itself is RNG-free, so identical inputs replay identical event
+sequences (the determinism property test relies on this).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.flash.devsim.event import Event, EventLoop
+
+#: Service callback: ``(request_index, issue_time_us) -> latency_us``.
+ServiceFn = Callable[[int, float], float]
+
+EVENT_ARRIVAL = "frontend-arrival"
+EVENT_COMPLETE = "frontend-complete"
+
+
+class FrontendScheduler:
+    """Issue requests against a service function on an event loop."""
+
+    def __init__(
+        self,
+        arrival_us: Sequence[float],
+        *,
+        class_ids: Sequence[int] | None = None,
+        num_classes: int = 1,
+        queue_depth: int | None = None,
+    ) -> None:
+        n = len(arrival_us)
+        if queue_depth is not None and queue_depth <= 0:
+            raise ConfigError("queue_depth must be positive (or None for open loop)")
+        if num_classes <= 0:
+            raise ConfigError("num_classes must be positive")
+        if class_ids is None:
+            class_ids = [0] * n
+        if len(class_ids) != n:
+            raise ConfigError(
+                f"class_ids has {len(class_ids)} entries for {n} arrivals"
+            )
+        last = 0.0
+        for t in arrival_us:
+            if t < last:
+                raise ConfigError("arrival_us must be non-decreasing")
+            last = t
+        for c in class_ids:
+            if not 0 <= c < num_classes:
+                raise ConfigError(f"class id {c} outside [0, {num_classes})")
+        self.arrival_us = list(arrival_us)
+        self.class_ids = list(class_ids)
+        self.num_classes = num_classes
+        self.queue_depth = queue_depth
+        #: Filled by :meth:`run`: per-request issue/completion times.
+        self.issue_us = [0.0] * n
+        self.complete_us = [0.0] * n
+        self.outstanding = 0
+        self.max_outstanding = 0
+        self._pending: list[deque[int]] = [deque() for _ in range(num_classes)]
+        self.loop = EventLoop()
+        self.loop.register_handler(EVENT_ARRIVAL, self._on_arrival)
+        self.loop.register_handler(EVENT_COMPLETE, self._on_complete)
+        self._service: ServiceFn | None = None
+
+    # ------------------------------------------------------------------
+    def _on_arrival(self, event: Event) -> None:
+        index: int = event.payload
+        self._pending[self.class_ids[index]].append(index)
+        self._try_issue()
+
+    def _on_complete(self, event: Event) -> None:
+        self.outstanding -= 1
+        self._try_issue()
+
+    def _slots_free(self) -> bool:
+        return self.queue_depth is None or self.outstanding < self.queue_depth
+
+    def _try_issue(self) -> None:
+        service = self._service
+        assert service is not None  # only called from within run()
+        while self._slots_free():
+            index = None
+            for queue in self._pending:  # class 0 first
+                if queue:
+                    index = queue.popleft()
+                    break
+            if index is None:
+                return
+            now = self.loop.now
+            latency = service(index, now)
+            if latency < 0.0:
+                raise ConfigError(f"service returned negative latency {latency:g}")
+            self.issue_us[index] = now
+            self.complete_us[index] = now + latency
+            self.outstanding += 1
+            if self.outstanding > self.max_outstanding:
+                self.max_outstanding = self.outstanding
+            self.loop.schedule(now + latency, EVENT_COMPLETE, index)
+
+    # ------------------------------------------------------------------
+    def run(self, service: ServiceFn) -> int:
+        """Drive every request through ``service``; returns events fired.
+
+        After the run, :attr:`issue_us` and :attr:`complete_us` hold
+        each request's issue and completion timestamps (µs); sojourn
+        time is ``complete_us[i] - arrival_us[i]``.
+        """
+        self._service = service
+        for index, t in enumerate(self.arrival_us):
+            self.loop.schedule(t, EVENT_ARRIVAL, index)
+        try:
+            return self.loop.run_until_idle()
+        finally:
+            self._service = None

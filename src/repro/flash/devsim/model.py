@@ -1,0 +1,181 @@
+"""Event-lane latency model behind the analytic ``LatencyModel`` surface.
+
+:class:`EventLatencyModel` subclasses the analytic model so every
+consumer — the devices' ``latency`` slot, the engines' ``latency=``
+constructor parameter, type annotations throughout — accepts it
+unchanged.  The dataclass fields (``num_channels``, ``timings``,
+``read_cache_pages``) and the controller read-buffer LRU are inherited;
+the per-channel ``busy_until`` arrays are superseded by a
+:class:`~repro.flash.devsim.event.EventLoop` driving per-die queues
+with suspend-resume (:mod:`repro.flash.devsim.nand`).
+
+Semantics contract (DESIGN.md §9):
+
+- Same surface, same units: ``read``/``read_many``/``program``/
+  ``program_many`` return completion latency + ``transfer_us``;
+  ``erase`` returns raw completion latency (the documented asymmetry —
+  erase is a command, no host data transfer), both lanes identical.
+- With ``dies_per_channel=1`` (the default) the two lanes agree on
+  every scenario where the analytic horizon model is exact: unloaded
+  reads, channel collisions, floor-bounded reads behind writes, batched
+  flush striping.  They diverge only where the event lane is more
+  faithful: a preempted write's *in-device* completion extends by the
+  reads that suspended it, so later writes on that die queue behind the
+  residual (the analytic lane forgets the residual once the read's
+  horizon passes).  The timeline goldens pin both behaviours.
+- Timestamps must be non-decreasing across calls (the replay harness
+  guarantees this); each call first advances the loop to ``now_us``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.flash.devsim.event import EventLoop
+from repro.flash.devsim.nand import (
+    OP_ERASE,
+    OP_PROGRAM,
+    OP_READ,
+    Die,
+    NandOp,
+    register_die_handlers,
+)
+from repro.flash.latency import LatencyModel
+
+
+@dataclass
+class EventLatencyModel(LatencyModel):
+    """Discrete-event device lane (``latency_lane="event"``).
+
+    Parameters are the analytic model's plus ``dies_per_channel``:
+    pages stripe channels first (``page % num_channels``, identical to
+    the analytic ``channel_of``), then dies within the channel
+    (``(page // num_channels) % dies_per_channel``), so two pages that
+    collide on a channel may still be served in parallel by different
+    dies when ``dies_per_channel > 1``.
+    """
+
+    dies_per_channel: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.dies_per_channel <= 0:
+            raise ConfigError("dies_per_channel must be positive")
+        self._build()
+
+    def _build(self) -> None:
+        self.loop = EventLoop()
+        register_die_handlers(self.loop)
+        self.dies = [
+            Die(self.loop, i, self.timings)
+            for i in range(self.num_channels * self.dies_per_channel)
+        ]
+
+    def die_of(self, page: int) -> Die:
+        """The die serving physical page ``page``."""
+        channel = page % self.num_channels
+        die = (page // self.num_channels) % self.dies_per_channel
+        return self.dies[channel * self.dies_per_channel + die]
+
+    # -- cache probe (inherited LRU, identical to the analytic lane) ---
+    def _cache_hit(self, page: int) -> bool:
+        if not self.read_cache_pages:
+            return False
+        cache = self._read_cache
+        if page in cache:
+            cache.move_to_end(page)
+            return True
+        cache[page] = None
+        while len(cache) > self.read_cache_pages:
+            cache.popitem(last=False)
+        return False
+
+    def _submit(
+        self, kind: str, page: int, service_us: float, now_us: float, *, background: bool
+    ) -> NandOp:
+        op = NandOp(kind, page, service_us, background=background)
+        # run_until in the callers advanced the loop to now_us already;
+        # resubmitting at loop.now keeps batch members at one timestamp.
+        self.die_of(page).submit(op, now_us)
+        return op
+
+    # -- LatencyModel surface ------------------------------------------
+    def read(self, page: int, now_us: float, *, background: bool = False) -> float:
+        self.loop.run_until(now_us)
+        if self._cache_hit(page):
+            return self.timings.transfer_us
+        op = self._submit(OP_READ, page, self.timings.read_us, now_us, background=background)
+        return op.projected_end - now_us + self.timings.transfer_us
+
+    def read_many(
+        self, pages: list[int], now_us: float, *, background: bool = False
+    ) -> float:
+        if not pages:
+            return 0.0
+        self.loop.run_until(now_us)
+        transfer_us = self.timings.transfer_us
+        read_us = self.timings.read_us
+        worst = 0.0
+        for page in pages:
+            if self._cache_hit(page):
+                lat = transfer_us
+            else:
+                op = self._submit(OP_READ, page, read_us, now_us, background=background)
+                lat = op.projected_end - now_us + transfer_us
+            if lat > worst:
+                worst = lat
+        return worst
+
+    def program(self, page: int, now_us: float) -> float:
+        self.loop.run_until(now_us)
+        op = self._submit(
+            OP_PROGRAM, page, self.timings.program_us, now_us, background=False
+        )
+        return op.projected_end - now_us + self.timings.transfer_us
+
+    def program_many(self, pages: list[int], now_us: float) -> float:
+        if not pages:
+            return 0.0
+        self.loop.run_until(now_us)
+        program_us = self.timings.program_us
+        transfer_us = self.timings.transfer_us
+        worst = 0.0
+        for page in pages:
+            op = self._submit(OP_PROGRAM, page, program_us, now_us, background=False)
+            lat = op.projected_end - now_us + transfer_us
+            if lat > worst:
+                worst = lat
+        return worst
+
+    def erase(self, first_page: int, now_us: float) -> float:
+        # No transfer_us: erase is command-only (DESIGN.md §9), matching
+        # the analytic lane byte for byte.
+        self.loop.run_until(now_us)
+        op = self._submit(
+            OP_ERASE, first_page, self.timings.erase_us, now_us, background=False
+        )
+        return op.projected_end - now_us
+
+    # ------------------------------------------------------------------
+    def idle_at(self, now_us: float) -> bool:
+        """True when every die's projected work completes by ``now_us``."""
+        return all(die.busy_horizon() <= now_us for die in self.dies)
+
+    def reset(self) -> None:
+        """Clear all device state (new measurement epoch)."""
+        super().reset()
+        self._build()
+
+    # -- introspection for tests/benchmarks ----------------------------
+    @property
+    def total_preemptions(self) -> int:
+        return sum(die.preemptions for die in self.dies)
+
+    @property
+    def completed_ops(self) -> int:
+        return sum(die.completed_ops for die in self.dies)
+
+    def drain(self) -> int:
+        """Run the loop to idle (end of epoch); returns events fired."""
+        return self.loop.run_until_idle()

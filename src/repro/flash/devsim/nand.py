@@ -1,0 +1,284 @@
+"""Per-die NAND queues with program/erase suspend-resume.
+
+A :class:`Die` is one NAND service unit.  Physical page ``p`` on a
+``C``-channel, ``D``-die device maps to channel ``p % C`` and die
+``(p // C) % D`` — interleaved striping, matching the analytic lane's
+``channel_of`` when ``D == 1``.
+
+Three queues per die, in dispatch priority order:
+
+1. foreground reads (host GETs),
+2. background reads (suspendable engine work, e.g. Nemo's writeback
+   reads),
+3. writes (programs and erases), FIFO; a suspended write re-enters at
+   the *front* with its residual service time, so no work is lost.
+
+Suspend model: when a read arrives behind an in-flight program/erase, a
+``nand-suspend`` event fires after at most
+:attr:`~repro.flash.latency.NandTimings.suspend_floor_us` — the write
+is split, the read runs, the residual resumes.  This is the same
+read-prioritisation contract the analytic lane's ``_start_time``
+implements with its ``min(busy, now + floor)`` clamp.
+
+Commit-at-issue projections: the host-visible latency of every op is
+computed *at submission* from the die's queue horizons (``fg_tail``,
+``bg_tail``, ``write_tail``).  For foreground reads the projection is
+exact — nothing can later be inserted ahead of a committed read — which
+a property test pins by comparing projections against actual event
+completions.  Write/erase projections are issue-time estimates: later
+reads may preempt them, extending the in-device completion (tracked by
+the shifted ``write_tail`` and asserted in the timeline goldens) while
+the host-visible latency stays the committed value, exactly like a real
+device acknowledging a program before its suspended tail finishes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError
+from repro.flash.devsim.event import Event, EventLoop
+from repro.flash.latency import NandTimings
+
+#: Op kinds (``program`` and ``erase`` share the write path).
+OP_READ = "read"
+OP_PROGRAM = "program"
+OP_ERASE = "erase"
+
+#: Event kinds the die registers on its loop.
+EVENT_COMPLETE = "nand-complete"
+EVENT_SUSPEND = "nand-suspend"
+
+
+class NandOp:
+    """One in-device operation with its commit-at-issue projection."""
+
+    __slots__ = (
+        "kind",
+        "page",
+        "background",
+        "service_us",
+        "remaining_us",
+        "issued_at",
+        "projected_start",
+        "projected_end",
+        "consumed_us",
+        "preemptions",
+        "completed_at",
+    )
+
+    def __init__(
+        self, kind: str, page: int, service_us: float, *, background: bool = False
+    ) -> None:
+        self.kind = kind
+        self.page = page
+        self.background = background
+        self.service_us = service_us
+        self.remaining_us = service_us
+        self.issued_at = 0.0
+        self.projected_start = 0.0
+        self.projected_end = 0.0
+        #: Service time actually consumed across all execution segments;
+        #: equals ``service_us`` at completion (suspend loses nothing).
+        self.consumed_us = 0.0
+        self.preemptions = 0
+        self.completed_at: float | None = None
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind != OP_READ
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NandOp({self.kind} page={self.page} "
+            f"[{self.projected_start:g},{self.projected_end:g}]us)"
+        )
+
+
+def register_die_handlers(loop: EventLoop) -> None:
+    """Register the die event handlers on ``loop`` (once per loop)."""
+
+    def on_complete(event: Event) -> None:
+        die: Die = event.payload
+        die._on_complete()
+
+    def on_suspend(event: Event) -> None:
+        die: Die = event.payload
+        die._on_suspend()
+
+    loop.register_handler(EVENT_COMPLETE, on_complete)
+    loop.register_handler(EVENT_SUSPEND, on_suspend)
+
+
+class Die:
+    """One NAND die: three priority queues, one in-flight op."""
+
+    __slots__ = (
+        "loop",
+        "index",
+        "timings",
+        "fg",
+        "bg",
+        "writes",
+        "in_flight",
+        "in_flight_end",
+        "fg_tail",
+        "bg_tail",
+        "write_tail",
+        "completed_ops",
+        "preemptions",
+        "_segment_start",
+        "_complete_event",
+        "_suspend_event",
+    )
+
+    def __init__(self, loop: EventLoop, index: int, timings: NandTimings) -> None:
+        self.loop = loop
+        self.index = index
+        self.timings = timings
+        self.fg: deque[NandOp] = deque()
+        self.bg: deque[NandOp] = deque()
+        self.writes: deque[NandOp] = deque()
+        self.in_flight: NandOp | None = None
+        self.in_flight_end = 0.0
+        #: Projected completion horizons (absolute µs) per queue class.
+        self.fg_tail = 0.0
+        self.bg_tail = 0.0
+        self.write_tail = 0.0
+        self.completed_ops = 0
+        self.preemptions = 0
+        self._segment_start = 0.0
+        self._complete_event: Event | None = None
+        self._suspend_event: Event | None = None
+
+    # ------------------------------------------------------------------
+    def busy_horizon(self) -> float:
+        """Absolute time at which all currently-queued work completes."""
+        return max(self.fg_tail, self.bg_tail, self.write_tail)
+
+    def submit(self, op: NandOp, now_us: float) -> None:
+        """Commit ``op`` at ``now_us``: project its latency and enqueue.
+
+        The caller must have advanced the loop to ``now_us`` first
+        (``loop.run_until``); submissions never travel back in time.
+        """
+        if now_us < self.loop.now:
+            raise ConfigError(
+                f"op submitted at {now_us:g}us behind the loop clock "
+                f"{self.loop.now:g}us"
+            )
+        op.issued_at = now_us
+        if op.kind == OP_READ:
+            self._project_read(op, now_us)
+        else:
+            self._project_write(op, now_us)
+        if self.in_flight is None:
+            self._start(op, now_us)
+        elif op.kind == OP_READ:
+            (self.bg if op.background else self.fg).append(op)
+            self._plan_suspend(now_us)
+        else:
+            self.writes.append(op)
+
+    # -- commit-at-issue projections -----------------------------------
+    def _project_read(self, op: NandOp, now_us: float) -> None:
+        read_us = self.timings.read_us
+        base = self.fg_tail if not op.background else max(self.fg_tail, self.bg_tail)
+        infl = self.in_flight
+        if base > now_us:
+            # Behind committed read work of equal-or-higher priority.
+            start = base
+        elif infl is None:
+            start = now_us
+        elif not infl.is_write:
+            # A background read is in flight; a foreground read starts
+            # right behind it (jumping any queued background reads).
+            start = self.in_flight_end
+        else:
+            # Program/erase in flight: suspend bounds the wait.  An
+            # already-planned suspend (for an earlier queued read) fires
+            # at its own time, and dispatch favours this read then.
+            if self._suspend_event is not None:
+                suspend_at = self._suspend_event.time
+            else:
+                suspend_at = now_us + self.timings.suspend_floor_us
+            start = min(self.in_flight_end, suspend_at)
+        end = start + read_us
+        op.projected_start = start
+        op.projected_end = end
+        if op.background:
+            self.bg_tail = end
+        else:
+            self.fg_tail = end
+            if self.bg_tail > start:
+                # Queued background reads the foreground read jumps.
+                self.bg_tail += read_us
+        if self.write_tail > start:
+            # Pending write work this read preempts or precedes.
+            self.write_tail += read_us
+
+    def _project_write(self, op: NandOp, now_us: float) -> None:
+        start = max(now_us, self.fg_tail, self.bg_tail, self.write_tail)
+        op.projected_start = start
+        op.projected_end = start + op.service_us
+        self.write_tail = op.projected_end
+
+    # -- dispatch / suspend machinery ----------------------------------
+    def _start(self, op: NandOp, now_us: float) -> None:
+        self.in_flight = op
+        self._segment_start = now_us
+        self.in_flight_end = now_us + op.remaining_us
+        self._complete_event = self.loop.schedule(
+            self.in_flight_end, EVENT_COMPLETE, self
+        )
+
+    def _plan_suspend(self, now_us: float) -> None:
+        infl = self.in_flight
+        if infl is None or not infl.is_write or self._suspend_event is not None:
+            return
+        at = now_us + self.timings.suspend_floor_us
+        if at < self.in_flight_end:
+            self._suspend_event = self.loop.schedule(at, EVENT_SUSPEND, self)
+        # else: the write finishes within the floor; the read waits for
+        # the natural completion (dispatch order still favours it).
+
+    def _dispatch(self, now_us: float) -> None:
+        if self.in_flight is not None:
+            return
+        for queue in (self.fg, self.bg, self.writes):
+            if queue:
+                self._start(queue.popleft(), now_us)
+                return
+
+    def _on_complete(self) -> None:
+        self._complete_event = None
+        op = self.in_flight
+        assert op is not None  # completes are cancelled on suspend
+        now = self.loop.now
+        op.consumed_us += now - self._segment_start
+        op.completed_at = now
+        self.completed_ops += 1
+        self.in_flight = None
+        self._dispatch(now)
+
+    def _on_suspend(self) -> None:
+        self._suspend_event = None
+        infl = self.in_flight
+        if infl is None or not infl.is_write:
+            # The write this suspend targeted is gone (defensive; the
+            # scheduling rules make this unreachable).
+            self._dispatch(self.loop.now)
+            return
+        now = self.loop.now
+        infl.consumed_us += now - self._segment_start
+        infl.remaining_us = self.in_flight_end - now
+        infl.preemptions += 1
+        self.preemptions += 1
+        if self._complete_event is not None:
+            self.loop.cancel(self._complete_event)
+            self._complete_event = None
+        # Residual work re-enters at the FRONT of the write queue: the
+        # suspended op resumes before any later-queued write starts.
+        self.writes.appendleft(infl)
+        self.in_flight = None
+        self._dispatch(now)

@@ -242,6 +242,12 @@ class LatencyModel:
         Erases are suspendable like programs (``_busy_is_program`` marks
         "suspendable write work"), so reads behind them are bounded by
         the suspend floor.
+
+        Unlike reads/programs the returned latency carries no
+        ``transfer_us``: an erase is command-only — there is no host
+        data phase to move over the interconnect.  This asymmetry is
+        deliberate (DESIGN.md §9), shared by both lanes, and pinned by
+        ``tests/flash/test_latency.py::TestErasePath``.
         """
         ch = first_page % self.num_channels
         start = self._start_time(ch, now_us, is_read=False)

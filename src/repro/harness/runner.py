@@ -38,6 +38,7 @@ import numpy as np
 from repro.baselines.base import CacheEngine
 from repro.errors import ConfigError
 from repro.faults.plan import FaultPlan
+from repro.flash.devsim.factory import LATENCY_LANES, make_latency_model
 from repro.harness.metrics import MetricSeries, WindowedRate
 from repro.harness.percentile import LatencyRecorder
 from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace
@@ -51,6 +52,11 @@ REPLAY_KERNELS = ("batched", "columnar", "scalar")
 #: Environment override for the default lane (parity tests sweep it).
 KERNEL_ENV_VAR = "REPRO_REPLAY_KERNEL"
 
+#: Environment override for ``replay(latency_lane=...)`` (parity tests
+#: sweep it like the kernel override; unset means "leave the engine's
+#: model alone").
+LATENCY_LANE_ENV_VAR = "REPRO_LATENCY_LANE"
+
 
 def resolve_kernel(kernel: str | None) -> str:
     """Pick the replay lane: explicit argument, else env, else batched."""
@@ -61,6 +67,26 @@ def resolve_kernel(kernel: str | None) -> str:
             f"unknown replay kernel {kernel!r}; expected one of {REPLAY_KERNELS}"
         )
     return kernel
+
+
+def resolve_latency_lane(lane: str | None) -> str | None:
+    """Pick the latency lane: explicit argument, else env, else None.
+
+    ``None`` means the replay leaves the engine's device timing alone
+    (engines built without a model stay latency-free — the analytic
+    lane's zero-cost bypass).  A named lane installs a fresh model of
+    that lane before replay, cloning the device parameters of whatever
+    model the engine already carries.
+    """
+    if lane is None:
+        lane = os.environ.get(LATENCY_LANE_ENV_VAR) or None
+    if lane is None:
+        return None
+    if lane not in LATENCY_LANES:
+        raise ConfigError(
+            f"unknown latency lane {lane!r}; expected one of {LATENCY_LANES}"
+        )
+    return lane
 
 
 @dataclass
@@ -81,6 +107,10 @@ class ReplayResult:
     crashes: int = 0
     #: Which replay lane produced this result (metrics are lane-invariant).
     kernel: str = "batched"
+    #: Which latency lane timed the devices (None: whatever model — or
+    #: no model — the engine already carried).  Latencies are
+    #: lane-specific; aggregate counters are lane-invariant.
+    latency_lane: str | None = None
     #: Human-readable dispatch notes (e.g. why the columnar lane fell
     #: back to batched dispatch for this engine/trace combination).
     notes: list[str] = field(default_factory=list)
@@ -123,6 +153,7 @@ def replay(
     progress: bool = False,
     faults: FaultPlan | None = None,
     kernel: str | None = None,
+    latency_lane: str | None = None,
 ) -> ReplayResult:
     """Replay ``trace`` against ``engine`` and collect metrics.
 
@@ -163,10 +194,27 @@ def replay(
         the columnar lane falls back to batched dispatch wherever its
         whole-trace kernel is not applicable (latency models, fault
         plans, pre-warmed engines, device wrap-around).
+    latency_lane:
+        Device timing lane: ``"analytic"`` (per-channel horizons) or
+        ``"event"`` (discrete-event devsim, DESIGN.md §9).  ``None``
+        reads ``REPRO_LATENCY_LANE``; unset leaves the engine's current
+        model (or absence of one) untouched.  A named lane installs a
+        fresh model cloned from the engine's existing device parameters
+        before replay.  Aggregate metrics are lane-invariant; recorded
+        latencies are not.
     """
     if arrival_rate <= 0:
         raise ConfigError("arrival_rate must be positive")
     kernel = resolve_kernel(kernel)
+    latency_lane = resolve_latency_lane(latency_lane)
+    if latency_lane is not None:
+        # Installed before kernel eligibility runs: a latency model
+        # demotes the columnar whole-trace kernels (they need
+        # per-request timing), and that demotion must be visible in the
+        # dispatch notes below.
+        engine.install_latency_model(
+            make_latency_model(latency_lane, like=engine.latency_model())
+        )
     n = len(trace)
     if sample_every is None:
         sample_every = max(1, n // 64)
@@ -361,5 +409,6 @@ def replay(
         ),
         crashes=len(crash_points),
         kernel=result_kernel,
+        latency_lane=latency_lane,
         notes=notes,
     )

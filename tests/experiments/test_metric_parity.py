@@ -188,6 +188,71 @@ class TestKernelSweep:
         )
 
 
+def _lane_parity_configs():
+    """(label, engine builder) for every fig12/fig14/fig15 micro system."""
+    from repro.baselines.fairywren import FairyWrenCache
+    from repro.experiments import fig12_wa_main as f12
+    from repro.experiments import fig14_wa_trend as f14
+    from repro.experiments import fig15_read_latency as f15
+    from repro.flash.latency import LatencyModel
+
+    configs = [
+        (f"fig12/{name}", lambda g, i=i: f12.build_engines(g)[i])
+        for i, name in enumerate(f12.PAPER_WA)
+    ]
+    configs += [
+        (
+            f"fig14/{name}",
+            lambda g, lf=lf, op=op: FairyWrenCache(
+                g, log_fraction=lf, op_ratio=op
+            ),
+        )
+        for name, lf, op in f14.SYSTEMS
+        if lf is not None  # fig14's Nemo row is fig12's Nemo engine
+    ]
+    configs += [
+        (
+            f"fig15/{name}",
+            lambda g, name=name: f15._build_system(
+                name, g, LatencyModel(num_channels=8)
+            ),
+        )
+        for name in f15.SYSTEMS
+    ]
+    return configs
+
+
+_LANE_PARITY_CONFIGS = _lane_parity_configs()
+
+
+class TestLatencyLaneParity:
+    """The event device lane is counter-invariant on the experiment
+    cells (DESIGN.md §9 parity contract): replaying every fig12 / fig14
+    / fig15 micro configuration with ``latency_lane="event"`` must
+    yield the analytic lane's final snapshot exactly — WA, miss ratio
+    and op counts included.  The devsim property suite covers random
+    traces; this pins the exact paper configurations CI reports.
+    """
+
+    @pytest.mark.parametrize(
+        "label, build",
+        _LANE_PARITY_CONFIGS,
+        ids=[label for label, _ in _LANE_PARITY_CONFIGS],
+    )
+    def test_event_lane_matches_analytic_counters(self, label, build):
+        from repro.experiments.common import scale_params, twitter_trace
+        from repro.harness.runner import replay
+
+        geometry, num_requests = scale_params("micro")
+        trace = twitter_trace(num_requests)
+        finals = {}
+        for lane in ("analytic", "event"):
+            result = replay(build(geometry), trace, latency_lane=lane)
+            assert result.latency_lane == lane
+            finals[lane] = json.loads(json.dumps(result.final))
+        _assert_identical(finals["event"], finals["analytic"], label)
+
+
 def main() -> None:
     import argparse
     import sys

@@ -18,6 +18,7 @@ class TestRegistry:
             "fig13",
             "fig14",
             "fig15",
+            "fig15_tail",
             "fig16",
             "fig17",
             "fig18",

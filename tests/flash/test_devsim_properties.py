@@ -1,0 +1,263 @@
+"""Property tests for the discrete-event device lane (DESIGN.md §9).
+
+Five contracts, each driven by Hypothesis-random inputs:
+
+1. the event loop never fires an event before its scheduled time, and
+   fired order is exactly ``(time, seq)``;
+2. within one priority class a die serves ops FIFO;
+3. program/erase suspend never loses residual work — every op's
+   consumed service time equals its nominal service time at completion;
+4. identical seeds produce identical event sequences (frontend and
+   device model both);
+5. the event lane's aggregate engine counters equal the analytic
+   lane's on random traces, for all five Table 4 engines.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fairywren import FairyWrenCache
+from repro.baselines.kangaroo import KangarooCache
+from repro.baselines.log_structured import LogStructuredCache
+from repro.baselines.set_associative import SetAssociativeCache
+from repro.core.config import NemoConfig
+from repro.core.nemo import NemoCache
+from repro.flash.devsim import EventLatencyModel, EventLoop
+from repro.flash.devsim.frontend import FrontendScheduler
+from repro.flash.devsim.nand import (
+    OP_ERASE,
+    OP_PROGRAM,
+    OP_READ,
+    Die,
+    NandOp,
+    register_die_handlers,
+)
+from repro.flash.geometry import FlashGeometry
+from repro.flash.latency import NandTimings
+from repro.harness.runner import replay
+from repro.workloads.arrivals import assign_classes, bursty_arrivals
+from repro.workloads.mixer import merged_twitter_trace
+
+_times = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=50,
+)
+
+
+class TestEventLoopOrdering:
+    @given(times=_times)
+    @settings(max_examples=50, deadline=None)
+    def test_no_event_fires_early_and_order_is_stable(self, times):
+        loop = EventLoop()
+        fired: list[tuple[float, int]] = []
+
+        def handler(event):
+            # The clock is exactly the event's timestamp when it fires.
+            assert loop.now == event.time
+            fired.append((event.time, event.seq))
+
+        loop.register_handler("tick", handler)
+        for t in times:
+            loop.schedule(t, "tick")
+        loop.run_until_idle()
+        assert len(fired) == len(times)
+        # (time, seq) is a total order: ties fire in schedule order.
+        assert fired == sorted(fired)
+        assert loop.fired == len(times)
+
+    @given(
+        times=_times,
+        horizon=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_run_until_fires_exactly_the_horizon(self, times, horizon):
+        loop = EventLoop()
+        loop.register_handler("tick", lambda event: None)
+        for t in times:
+            loop.schedule(t, "tick")
+        fired = loop.run_until(horizon)
+        assert fired == sum(1 for t in times if t <= horizon)
+        assert loop.now == horizon
+        assert loop.pending() == len(times) - fired
+
+
+def _make_die():
+    loop = EventLoop()
+    register_die_handlers(loop)
+    return loop, Die(loop, 0, NandTimings())
+
+
+def _make_op(kind: str, timings=NandTimings()) -> NandOp:
+    if kind == "write":
+        return NandOp(OP_PROGRAM, 0, timings.program_us)
+    if kind == "erase":
+        return NandOp(OP_ERASE, 0, timings.erase_us)
+    return NandOp(OP_READ, 0, timings.read_us, background=(kind == "bg"))
+
+
+class TestDieQueues:
+    @given(
+        kinds=st.lists(
+            st.sampled_from(["fg", "bg", "write", "erase"]),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_within_priority_class(self, kinds):
+        loop, die = _make_die()
+        ops = []
+        for kind in kinds:
+            op = _make_op(kind)
+            die.submit(op, 0.0)
+            ops.append((kind, op))
+        loop.run_until_idle()
+        # Writes and erases share the write queue (one class).
+        classes = {"fg": "fg", "bg": "bg", "write": "w", "erase": "w"}
+        for cls in ("fg", "bg", "w"):
+            done = [op.completed_at for k, op in ops if classes[k] == cls]
+            assert all(c is not None for c in done)
+            assert done == sorted(done)
+
+    @given(
+        steps=st.lists(
+            st.tuples(
+                st.sampled_from(["fg", "bg", "write", "erase"]),
+                st.floats(min_value=0.0, max_value=500.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_suspend_preserves_residual_work(self, steps):
+        loop, die = _make_die()
+        ops = []
+        now = 0.0
+        for kind, gap in steps:
+            now += gap
+            loop.run_until(now)
+            op = _make_op(kind)
+            die.submit(op, now)
+            ops.append(op)
+        loop.run_until_idle()
+        for op in ops:
+            assert op.completed_at is not None
+            # However many times it was suspended, every microsecond of
+            # nominal service was actually executed.
+            assert op.consumed_us == pytest.approx(op.service_us)
+        assert die.completed_ops == len(ops)
+        assert die.in_flight is None
+        assert not die.fg and not die.bg and not die.writes
+
+
+class TestDeterminism:
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(1, 200))
+    @settings(max_examples=20, deadline=None)
+    def test_identical_seeds_identical_frontend_sequences(self, seed, n):
+        def run_once():
+            arrivals = bursty_arrivals(n, 50_000.0, seed=seed)
+            classes = assign_classes(n, (0.7, 0.3), seed=seed)
+            frontend = FrontendScheduler(
+                arrivals.tolist(),
+                class_ids=classes.tolist(),
+                num_classes=2,
+                queue_depth=4,
+            )
+            trace = frontend.loop.enable_trace()
+            frontend.run(lambda index, now: float((index * 37) % 90) + 1.0)
+            return list(trace), list(frontend.issue_us), list(frontend.complete_us)
+
+        assert run_once() == run_once()
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_identical_inputs_identical_device_sequences(self, seed):
+        rng = np.random.default_rng(seed)
+        pages = rng.integers(0, 64, size=100).tolist()
+        kinds = rng.integers(0, 3, size=100).tolist()
+        gaps = rng.uniform(0.0, 120.0, size=100).tolist()
+
+        def run_once():
+            model = EventLatencyModel(num_channels=8, read_cache_pages=4)
+            trace = model.loop.enable_trace()
+            now = 0.0
+            latencies = []
+            for page, kind, gap in zip(pages, kinds, gaps):
+                now += gap
+                if kind == 0:
+                    latencies.append(model.read(page, now))
+                elif kind == 1:
+                    latencies.append(model.program(page, now))
+                else:
+                    latencies.append(model.erase(page, now))
+            model.drain()
+            return list(trace), latencies
+
+        assert run_once() == run_once()
+
+
+def _parity_geometry() -> FlashGeometry:
+    return FlashGeometry(
+        page_size=4096, pages_per_block=64, num_blocks=16, blocks_per_zone=1
+    )
+
+
+def _parity_engines(geometry):
+    """The five Table 4 engines, configured for the small geometry."""
+    config = NemoConfig(
+        flush_threshold=4, sgs_per_index_group=3, bf_capacity_per_set=20
+    )
+    return [
+        LogStructuredCache(geometry),
+        SetAssociativeCache(geometry, op_ratio=0.5),
+        FairyWrenCache(geometry, log_fraction=0.05, op_ratio=0.05),
+        KangarooCache(geometry, log_fraction=0.05, op_ratio=0.05),
+        NemoCache(geometry, config),
+    ]
+
+
+def _assert_finals_identical(fa, fb):
+    assert fa.keys() == fb.keys()
+    for key in fa:
+        va, vb = fa[key], fb[key]
+        assert va == vb or (
+            isinstance(va, float)
+            and isinstance(vb, float)
+            and math.isnan(va)
+            and math.isnan(vb)
+        ), f"{key}: {va!r} != {vb!r}"
+
+
+class TestLaneCounterParity:
+    """Aggregate counters are lane-invariant: the device timing model
+    observes the request stream but never feeds back into cache
+    decisions, so WA / miss ratio / op counts must match exactly."""
+
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(200, 600))
+    @settings(max_examples=5, deadline=None)
+    def test_all_five_engines(self, seed, n):
+        trace = merged_twitter_trace(
+            num_requests=n, wss_scale=1.0 / 2048, seed=seed
+        )
+        for index in range(5):
+            analytic = replay(
+                _parity_engines(_parity_geometry())[index],
+                trace,
+                latency_lane="analytic",
+            )
+            event = replay(
+                _parity_engines(_parity_geometry())[index],
+                trace,
+                latency_lane="event",
+            )
+            _assert_finals_identical(event.final, analytic.final)
+            assert event.latency_lane == "event"
+            assert analytic.latency_lane == "analytic"

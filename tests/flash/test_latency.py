@@ -120,6 +120,40 @@ class TestState:
         assert lat >= t.erase_us
 
 
+class TestErasePath:
+    """Regression: host-visible erase latency carries no ``transfer_us``.
+
+    Reads and programs move a page over the host interconnect, so their
+    latency is NAND service + transfer; an erase is command-only — no
+    data phase — so the model deliberately returns the raw completion
+    latency (DESIGN.md §9 records the decision).  Both device lanes
+    implement the identical contract.
+    """
+
+    @pytest.mark.parametrize("lane", ["analytic", "event"])
+    def test_erase_excludes_transfer_overhead(self, lane):
+        from repro.flash.devsim import make_latency_model
+
+        m = make_latency_model(lane, num_channels=4, read_cache_pages=0)
+        t = m.timings
+        assert m.erase(0, 0.0) == t.erase_us
+        assert m.read(1, 0.0) == t.read_us + t.transfer_us
+        assert m.program(2, 0.0) == t.program_us + t.transfer_us
+
+    @pytest.mark.parametrize("lane", ["analytic", "event"])
+    def test_asymmetry_survives_custom_timings(self, lane):
+        from repro.flash.devsim import make_latency_model
+
+        # An exaggerated transfer cost makes any accidental
+        # +transfer_us on the erase path unmistakable.
+        timings = NandTimings(transfer_us=1000.0)
+        m = make_latency_model(
+            lane, num_channels=4, timings=timings, read_cache_pages=0
+        )
+        assert m.erase(0, 0.0) == timings.erase_us
+        assert m.read(1, 0.0) == timings.read_us + 1000.0
+
+
 class TestHandComputedTimelines:
     """Exact timelines the event-batched rewrite must preserve.
 

@@ -1,0 +1,135 @@
+"""Tests for the closed-loop replay harness (devsim frontend wiring)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.log_structured import LogStructuredCache
+from repro.errors import ConfigError
+from repro.flash.devsim import make_latency_model
+from repro.harness.closed_loop import ClosedLoopResult, replay_closed_loop
+from repro.harness.runner import replay
+from repro.workloads.arrivals import fixed_arrivals
+from repro.workloads.trace import OP_DELETE, OP_GET, OP_SET, Trace
+
+
+def _trace(n=2000, num_keys=150, seed=11):
+    rng = np.random.default_rng(seed)
+    return Trace(
+        ops=rng.choice(
+            np.array([OP_GET, OP_SET, OP_DELETE], dtype=np.uint8),
+            size=n,
+            p=[0.8, 0.15, 0.05],
+        ),
+        keys=rng.integers(0, num_keys, size=n),
+        sizes=rng.integers(40, 400, size=n),
+        name="closed-loop-mix",
+    )
+
+
+def _engine(small_geometry, lane="event"):
+    return LogStructuredCache(
+        small_geometry, latency=make_latency_model(lane, num_channels=8)
+    )
+
+
+class TestReplayClosedLoop:
+    def test_respects_queue_depth(self, small_geometry):
+        trace = _trace()
+        result = replay_closed_loop(
+            _engine(small_geometry),
+            trace,
+            arrival_us=fixed_arrivals(len(trace), 200_000.0),
+            queue_depth=4,
+        )
+        assert result.max_outstanding <= 4
+        # One arrival + one completion event per request.
+        assert result.events_fired == 2 * len(trace)
+        assert (result.complete_us >= result.issue_us).all()
+        assert (result.issue_us >= result.arrival_us).all()
+        assert (result.sojourn_us >= 0.0).all()
+
+    def test_single_class_counters_match_open_loop(self, small_geometry):
+        # With one priority class the frontend issues strictly in
+        # arrival order, so the engine sees the open-loop request
+        # sequence and must land on identical aggregate counters.
+        trace = _trace()
+        closed = replay_closed_loop(
+            _engine(small_geometry),
+            trace,
+            arrival_us=fixed_arrivals(len(trace), 100_000.0),
+            queue_depth=8,
+        )
+        open_loop = replay(_engine(small_geometry), trace)
+        assert closed.final.keys() == open_loop.final.keys()
+        for key in closed.final:
+            a, b = closed.final[key], open_loop.final[key]
+            assert a == b or (
+                isinstance(a, float) and math.isnan(a) and math.isnan(b)
+            ), key
+
+    def test_needs_a_latency_model(self, small_geometry):
+        trace = _trace(n=10)
+        with pytest.raises(ConfigError, match="latency model"):
+            replay_closed_loop(
+                LogStructuredCache(small_geometry),
+                trace,
+                arrival_us=fixed_arrivals(10, 1000.0),
+            )
+
+    def test_rejects_length_mismatches(self, small_geometry):
+        trace = _trace(n=10)
+        with pytest.raises(ConfigError):
+            replay_closed_loop(
+                _engine(small_geometry),
+                trace,
+                arrival_us=fixed_arrivals(9, 1000.0),
+            )
+        with pytest.raises(ConfigError):
+            replay_closed_loop(
+                _engine(small_geometry),
+                trace,
+                arrival_us=fixed_arrivals(10, 1000.0),
+                class_ids=np.zeros(9, dtype=np.int64),
+            )
+
+
+class TestClassPercentiles:
+    def _result(self):
+        n = 8
+        return ClosedLoopResult(
+            engine_name="X",
+            trace_name="t",
+            num_requests=n,
+            queue_depth=None,
+            final={},
+            arrival_us=np.arange(n, dtype=np.float64),
+            issue_us=np.arange(n, dtype=np.float64),
+            complete_us=np.arange(n, dtype=np.float64) + [10, 20, 30, 40, 50, 60, 70, 80],
+            class_ids=np.array([0, 1, 0, 1, 0, 1, 0, 1]),
+            class_names=("hi", "lo"),
+        )
+
+    def test_sojourn(self):
+        assert self._result().sojourn_us.tolist() == [
+            10, 20, 30, 40, 50, 60, 70, 80
+        ]
+
+    def test_window_and_class_filters(self):
+        r = self._result()
+        # Class 0 requests in the second half: sojourns 50 and 70.
+        p = r.class_percentiles([50.0], window=(4, 8), class_id=0)
+        assert p[50.0] == 60.0
+
+    def test_get_only_filter(self):
+        r = self._result()
+        ops = np.array([OP_GET, OP_SET] * 4, dtype=np.uint8)
+        p = r.class_percentiles([50.0], get_only_ops=ops)
+        # GETs are indices 0, 2, 4, 6: sojourns 10/30/50/70.
+        assert p[50.0] == 40.0
+
+    def test_empty_selection_is_nan(self):
+        r = self._result()
+        p = r.class_percentiles([50.0, 99.0], class_id=7)
+        assert math.isnan(p[50.0]) and math.isnan(p[99.0])

@@ -613,6 +613,33 @@ class TestEngineHelpers:
         assert classify_zone("tests/core/test_nemo.py") == "tests"
         assert classify_zone("setup.py") == "other"
 
+    def test_devsim_files_inherit_the_simulated_flash_zone(self):
+        """The event-driven device lane (DESIGN.md §9) lives under
+        ``src/repro/flash/devsim/`` and must classify into the ``flash``
+        zone so the simulated-zone determinism contracts (R001
+        wall-clock, R007 fault randomness) apply to it."""
+        for module in ("event", "nand", "model", "frontend", "factory"):
+            path = f"src/repro/flash/devsim/{module}.py"
+            assert classify_zone(path) == "flash", path
+
+    def test_simulated_zone_rules_fire_for_devsim_style_code(self):
+        """A devsim-zoned snippet reading the wall clock and drawing
+        unseeded randomness trips both determinism rules — pinning that
+        the event loop's virtual time cannot silently grow host-clock
+        or RNG dependencies."""
+        found = lint(
+            """
+            import random
+            import time
+
+            def jitter():
+                return time.perf_counter() + random.random()
+            """,
+            zone="flash",
+            select={"R001", "R002"},
+        )
+        assert sorted(codes(found)) == ["R001", "R002"]
+
     def test_parse_suppressions_same_line_and_next_line(self):
         sup = parse_suppressions(
             "x = 1  # reprolint: disable=R001\n"

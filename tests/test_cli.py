@@ -96,6 +96,52 @@ class TestReplaySubcommand:
             main(["replay", "--kernel", "bogus"])
 
 
+class TestLatencyLaneFlag:
+    _common = ["replay", "--engine", "log", "--requests", "5000",
+               "--zones", "4", "--wss-scale", "0.0001"]
+
+    @pytest.mark.parametrize("lane", ["analytic", "event"])
+    def test_lane_prints_percentiles(self, lane, capsys):
+        rc = main(self._common + ["--latency-lane", lane])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"latency[{lane}] Log:" in out
+        assert "p50=" in out and "p99=" in out and "p99.99=" in out
+
+    def test_lane_demotes_columnar_kernel_with_warning(self, capsys):
+        rc = main(
+            self._common + ["--kernel", "columnar", "--latency-lane", "event"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        # A timed replay cannot use the whole-trace kernel; the harness
+        # demotes to the batched loop and the CLI surfaces the note.
+        assert "warning:" in out
+        assert "latency models need per-request timing" in out
+        assert "latency[event] Log:" in out
+
+    def test_shards_cannot_carry_a_latency_lane(self):
+        with pytest.raises(SystemExit):
+            main(
+                ["replay", "--engine", "log", "--shards", "2",
+                 "--latency-lane", "event"]
+            )
+
+    def test_lane_choices(self):
+        with pytest.raises(SystemExit):
+            main(["replay", "--latency-lane", "bogus"])
+
+    def test_faults_replay_accepts_a_lane(self, capsys):
+        rc = main(
+            ["faults", "--engine", "log", "--requests", "4000", "--zones", "4",
+             "--wss-scale", "0.0002", "--read-error-rate", "0",
+             "--program-error-rate", "0", "--erase-error-rate", "0",
+             "--latency-lane", "event"]
+        )
+        assert rc == 0
+        assert "Log" in capsys.readouterr().out
+
+
 class TestFaultsSubcommand:
     def test_fault_sweep_reports_counters(self, capsys):
         rc = main(

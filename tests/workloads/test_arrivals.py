@@ -1,0 +1,99 @@
+"""Tests for the seeded arrival processes feeding the devsim frontend."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.workloads.arrivals import (
+    assign_classes,
+    bursty_arrivals,
+    fixed_arrivals,
+    poisson_arrivals,
+)
+
+
+class TestFixed:
+    def test_even_spacing(self):
+        out = fixed_arrivals(4, 50_000.0)
+        assert out.tolist() == [0.0, 20.0, 40.0, 60.0]
+
+    def test_empty(self):
+        assert len(fixed_arrivals(0, 1000.0)) == 0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            fixed_arrivals(-1, 1000.0)
+        with pytest.raises(ConfigError):
+            fixed_arrivals(10, 0.0)
+
+
+class TestRandomProcesses:
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_non_decreasing_and_deterministic(self, seed):
+        for make in (
+            lambda: poisson_arrivals(500, 40_000.0, seed=seed),
+            lambda: bursty_arrivals(500, 40_000.0, seed=seed),
+        ):
+            a, b = make(), make()
+            assert np.array_equal(a, b)
+            assert (np.diff(a) >= 0.0).all()
+
+    def test_mean_rate_preserved(self):
+        # Both processes must average the requested rate: the bursty
+        # gaps are rescaled exactly so bursts don't inflate the mean.
+        n, rate = 200_000, 50_000.0
+        for make in (poisson_arrivals, bursty_arrivals):
+            out = make(n, rate, seed=3)
+            mean_gap = out[-1] / n
+            assert mean_gap == pytest.approx(1e6 / rate, rel=0.05)
+
+    def test_bursty_gaps_are_bimodal(self):
+        gaps = np.diff(bursty_arrivals(50_000, 50_000.0, seed=1))
+        mean_gap = 20.0
+        # A meaningful share of gaps sits well below the mean (burst
+        # mode at 8x the rate) and a meaningful share well above (idle
+        # mode) — a plain Poisson process concentrates around the mean.
+        assert (gaps < mean_gap / 4).mean() > 0.2
+        assert (gaps > mean_gap * 1.5).mean() > 0.1
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            bursty_arrivals(100, 1000.0, seed=0),
+            bursty_arrivals(100, 1000.0, seed=1),
+        )
+
+    def test_rejects_bad_burst_parameters(self):
+        with pytest.raises(ConfigError):
+            bursty_arrivals(10, 1000.0, burst_factor=1.0)
+        with pytest.raises(ConfigError):
+            bursty_arrivals(10, 1000.0, burst_fraction=1.0)
+        with pytest.raises(ConfigError):
+            bursty_arrivals(10, 1000.0, mean_burst=0)
+
+
+class TestAssignClasses:
+    def test_ids_in_range_and_deterministic(self):
+        a = assign_classes(1000, (0.8, 0.2), seed=5)
+        b = assign_classes(1000, (0.8, 0.2), seed=5)
+        assert np.array_equal(a, b)
+        assert a.dtype == np.int64
+        assert set(np.unique(a)) <= {0, 1}
+
+    def test_shares_respected(self):
+        ids = assign_classes(100_000, (0.8, 0.2), seed=0)
+        assert (ids == 0).mean() == pytest.approx(0.8, abs=0.02)
+
+    def test_unnormalised_shares_accepted(self):
+        ids = assign_classes(1000, (3.0, 1.0), seed=0)
+        assert (ids == 0).mean() == pytest.approx(0.75, abs=0.1)
+
+    def test_rejects_bad_shares(self):
+        with pytest.raises(ConfigError):
+            assign_classes(10, ())
+        with pytest.raises(ConfigError):
+            assign_classes(10, (0.5, 0.0))
+        with pytest.raises(ConfigError):
+            assign_classes(-1, (1.0,))
